@@ -1,0 +1,153 @@
+//! Baseline fingerprint indexes SHHC compares against.
+//!
+//! The paper positions SHHC relative to a family of single-node
+//! deduplication indexes. To run honest head-to-head experiments we
+//! implement the relevant designs behind one trait:
+//!
+//! - [`HddIndex`] — the strawman: hash table on spinning disk, every cold
+//!   probe pays a seek (what DDFS calls the "disk bottleneck"),
+//! - [`ChunkStashIndex`] — ChunkStash-like: a compact in-RAM cuckoo index
+//!   (built on our own [`CuckooTable`]) pointing at flash, one flash read
+//!   per confirmed lookup,
+//! - [`DdfsIndex`] — DDFS-like: bloom summary + container-grained
+//!   locality-preserving cache in front of a disk index,
+//! - [`ShhcNodeIndex`] — adapter exposing our hybrid node through the
+//!   same trait.
+//!
+//! All indexes account their device time on the same virtual clock, so
+//! `ops / busy` comparisons are apples to apples.
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_baseline::{ChunkStashIndex, FingerprintIndex};
+//! use shhc_types::Fingerprint;
+//!
+//! # fn main() -> Result<(), shhc_types::Error> {
+//! let mut index = ChunkStashIndex::small_test()?;
+//! let fp = Fingerprint::from_u64(1);
+//! assert!(!index.lookup_insert(fp)?.existed);
+//! assert!(index.lookup_insert(fp)?.existed);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunkstash;
+mod cuckoo;
+mod ddfs;
+mod hdd;
+
+pub use chunkstash::ChunkStashIndex;
+pub use cuckoo::CuckooTable;
+pub use ddfs::DdfsIndex;
+pub use hdd::HddIndex;
+
+use shhc_node::HybridHashNode;
+use shhc_types::{Fingerprint, Nanos, Result};
+
+/// Outcome of one index lookup-insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexResult {
+    /// Whether the fingerprint was already indexed.
+    pub existed: bool,
+    /// Virtual device+CPU time the operation consumed.
+    pub cost: Nanos,
+}
+
+/// A deduplication fingerprint index (lookup-with-insert-on-miss), the
+/// common interface for SHHC and every baseline.
+pub trait FingerprintIndex {
+    /// Looks up `fp`, inserting it when absent.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific device errors.
+    fn lookup_insert(&mut self, fp: Fingerprint) -> Result<IndexResult>;
+
+    /// Number of fingerprints indexed.
+    fn entries(&self) -> u64;
+
+    /// Accumulated virtual busy time.
+    fn busy(&self) -> Nanos;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapter: our hybrid node as a [`FingerprintIndex`].
+#[derive(Debug)]
+pub struct ShhcNodeIndex {
+    node: HybridHashNode,
+}
+
+impl ShhcNodeIndex {
+    /// Wraps a hybrid node.
+    pub fn new(node: HybridHashNode) -> Self {
+        ShhcNodeIndex { node }
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &HybridHashNode {
+        &self.node
+    }
+}
+
+impl FingerprintIndex for ShhcNodeIndex {
+    fn lookup_insert(&mut self, fp: Fingerprint) -> Result<IndexResult> {
+        let r = self.node.lookup_insert(fp)?;
+        Ok(IndexResult {
+            existed: r.existed,
+            cost: r.cost,
+        })
+    }
+
+    fn entries(&self) -> u64 {
+        self.node.entries()
+    }
+
+    fn busy(&self) -> Nanos {
+        self.node.stats().busy
+    }
+
+    fn name(&self) -> &'static str {
+        "shhc-hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shhc_node::NodeConfig;
+    use shhc_types::NodeId;
+
+    /// Every index implementation must agree with a reference set on a
+    /// shared workload.
+    #[test]
+    fn all_indexes_agree_on_existence() {
+        let mut indexes: Vec<Box<dyn FingerprintIndex>> = vec![
+            Box::new(HddIndex::small_test()),
+            Box::new(ChunkStashIndex::small_test().unwrap()),
+            Box::new(DdfsIndex::small_test()),
+            Box::new(ShhcNodeIndex::new(
+                HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap(),
+            )),
+        ];
+        let keys: Vec<u64> = (0..500).map(|i| (i * 7) % 120).collect();
+        let mut reference = std::collections::HashSet::new();
+        for k in keys {
+            let fp = Fingerprint::from_u64(k);
+            let expected = reference.contains(&k);
+            for index in &mut indexes {
+                let got = index.lookup_insert(fp).unwrap().existed;
+                assert_eq!(got, expected, "{} disagrees on key {k}", index.name());
+            }
+            reference.insert(k);
+        }
+        for index in &indexes {
+            assert_eq!(index.entries(), reference.len() as u64, "{}", index.name());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Extension C — partitioning ablation: consistent hashing (by vnode
+//! count) vs the paper's literal static ranges vs naive modulo, on load
+//! balance and on disruption when the cluster grows.
+
+use shhc_bench::{banner, scale, write_csv};
+use shhc_ring::{
+    load_distribution, moved_fraction, ConsistentHashRing, ModuloPartition, StaticRangePartition,
+};
+use shhc_workload::{mix, presets};
+
+fn coefficient_of_variation(counts: &[u64]) -> f64 {
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+fn main() {
+    let scale = (scale() * 4).max(1);
+    banner(
+        "Extension C — partitioning strategies: balance and growth disruption",
+        "the ring balances like static ranges but moves only ~1/(n+1) of keys on growth",
+    );
+    let traces: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(scale).generate())
+        .collect();
+    let keys: Vec<u64> = mix(&traces, 7).iter().map(|fp| fp.route_key()).collect();
+    println!("routing {} real fingerprint keys over 4 nodes\n", keys.len());
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<22} {:>12} {:>18}",
+        "strategy", "balance CoV", "moved on 4→5 grow"
+    );
+
+    for vnodes in [1u32, 8, 64, 256] {
+        let ring4 = ConsistentHashRing::with_nodes(4, vnodes);
+        let mut ring5 = ring4.clone();
+        ring5.add_node(shhc_types::NodeId::new(4));
+        let cov = coefficient_of_variation(&load_distribution(&ring4, keys.iter().copied()));
+        let moved = moved_fraction(&ring4, &ring5, keys.iter().copied());
+        let name = format!("ring ({vnodes} vnodes)");
+        println!("{name:<22} {cov:>12.3} {:>17.1}%", moved * 100.0);
+        rows.push(format!("{name},{cov:.4},{moved:.4}"));
+    }
+
+    let static4 = StaticRangePartition::new(4);
+    let static5 = StaticRangePartition::new(5);
+    let cov = coefficient_of_variation(&load_distribution(&static4, keys.iter().copied()));
+    let moved = moved_fraction(&static4, &static5, keys.iter().copied());
+    println!("{:<22} {cov:>12.3} {:>17.1}%", "static ranges", moved * 100.0);
+    rows.push(format!("static ranges,{cov:.4},{moved:.4}"));
+
+    let mod4 = ModuloPartition::new(4);
+    let mod5 = ModuloPartition::new(5);
+    let cov = coefficient_of_variation(&load_distribution(&mod4, keys.iter().copied()));
+    let moved = moved_fraction(&mod4, &mod5, keys.iter().copied());
+    println!("{:<22} {cov:>12.3} {:>17.1}%", "modulo", moved * 100.0);
+    rows.push(format!("modulo,{cov:.4},{moved:.4}"));
+
+    println!("\nideal growth disruption: 20.0% (exactly the new node's share);");
+    println!("static ranges and modulo reshuffle far more, which is why SHHC's");
+    println!("'relatively static' DHT still wants consistent hashing for its");
+    println!("dynamic-scaling future work.");
+
+    // Chord hop-count context: what full P2P routing would cost.
+    println!("\nChord-style routing hops (what SHHC avoids by full routing tables):");
+    for n in [4u32, 16, 64, 256] {
+        let chord = shhc_ring::FingerTable::new(n);
+        println!("  {n:>4} nodes: {:.2} mean hops", chord.mean_hops(4000));
+    }
+
+    write_csv(
+        "ext_partitioning",
+        "strategy,balance_cov,moved_fraction_on_grow",
+        &rows,
+    );
+}

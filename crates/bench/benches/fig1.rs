@@ -1,0 +1,77 @@
+//! Figure 1 — "Throughput of fingerprint lookup operations".
+//!
+//! The paper's motivation simulation: execution time for a fixed set of
+//! fingerprint lookups versus the offered request rate, for cluster sizes
+//! 1/2/4/8/16. Expected shape: all curves coincide while arrival-bound
+//! (time = requests/rate); past a cluster's service capacity the curve
+//! flattens at `requests × service / nodes` — so at high rates execution
+//! time is a decreasing function of cluster size.
+
+use shhc::motivation::{sweep, MotivationConfig};
+use shhc_bench::{banner, fig1_requests, write_csv};
+
+fn main() {
+    banner(
+        "Figure 1 — execution time vs offered rate, by cluster size",
+        "execution time for a fixed request set decreases with node count",
+    );
+
+    let total = fig1_requests();
+    let node_counts = [1u32, 2, 4, 8, 16];
+    let rates: Vec<f64> = [
+        2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 60_000.0, 80_000.0,
+        100_000.0,
+    ]
+    .to_vec();
+    let base = MotivationConfig {
+        total_requests: total,
+        ..MotivationConfig::default()
+    };
+    println!(
+        "requests = {total}, mean service = {} (node capacity ≈ {:.0}/s)\n",
+        base.mean_service,
+        1.0 / base.mean_service.as_secs_f64()
+    );
+
+    let points = sweep(&node_counts, &rates, base);
+
+    print!("{:>12}", "rate (req/s)");
+    for n in node_counts {
+        print!(" {:>12}", format!("{n} node(s)"));
+    }
+    println!("   (execution time, µs — the paper's y-axis)");
+
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        print!("{rate:>12.0}");
+        for &nodes in &node_counts {
+            let p = points
+                .iter()
+                .find(|p| p.nodes == nodes && p.rate_per_sec == rate)
+                .expect("swept point");
+            print!(" {:>12.0}", p.execution_time.as_micros_f64());
+            rows.push(format!(
+                "{nodes},{rate},{}",
+                p.execution_time.as_micros()
+            ));
+        }
+        println!();
+    }
+
+    // The paper's qualitative claims, checked mechanically.
+    let at = |nodes: u32, rate: f64| {
+        points
+            .iter()
+            .find(|p| p.nodes == nodes && p.rate_per_sec == rate)
+            .expect("point")
+            .execution_time
+            .as_secs_f64()
+    };
+    let low_spread = (at(16, 2_000.0) - at(1, 2_000.0)).abs() / at(1, 2_000.0);
+    let high_gain = at(1, 100_000.0) / at(16, 100_000.0);
+    println!("\nchecks:");
+    println!("  low-rate curves coincide: spread {:.1}% (expect ≈0)", low_spread * 100.0);
+    println!("  100k req/s speedup 1→16 nodes: {high_gain:.1}x (expect ≫1, saturating at rate-bound)");
+
+    write_csv("fig1", "nodes,rate_per_sec,execution_time_us", &rows);
+}

@@ -1,0 +1,78 @@
+//! Figure 5 — "Throughput of SHHC" (scalability & performance).
+//!
+//! The paper's main result: cluster throughput (chunks/s) for 1–4 hash
+//! nodes and batch sizes 1/128/2048, driving the four mixed Table I
+//! workloads from two client machines against cold nodes. Expected shape:
+//! batched throughput ≈ an order of magnitude above unbatched; batched
+//! curves grow with node count; 128 ≈ 2048 at larger cluster sizes.
+
+use shhc::{SimCluster, SimClusterConfig};
+use shhc_bench::{banner, scale, write_csv};
+use shhc_types::Fingerprint;
+use shhc_workload::{mix, presets};
+
+fn mixed_two_clients(scale: usize) -> Vec<Vec<Fingerprint>> {
+    let traces: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(scale).generate())
+        .collect();
+    let stream = mix(&traces, 7);
+    let half = stream.len() / 2;
+    vec![stream[..half].to_vec(), stream[half..].to_vec()]
+}
+
+fn main() {
+    let scale = scale();
+    banner(
+        "Figure 5 — cluster throughput vs nodes, by batch size",
+        "batching wins ~10x; batched throughput scales with cluster size",
+    );
+    println!("scale: 1/{scale} of the four mixed Table I workloads, 2 clients, cold nodes\n");
+    let clients = mixed_two_clients(scale);
+    let total: usize = clients.iter().map(Vec::len).sum();
+    println!("mixed stream: {total} fingerprints\n");
+
+    let batch_sizes = [1usize, 128, 2048];
+    let node_counts = [1u32, 2, 3, 4];
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}   (chunks/second)",
+        "nodes", "batch=1", "batch=128", "batch=2048"
+    );
+
+    let mut rows = Vec::new();
+    let mut matrix = vec![vec![0.0f64; batch_sizes.len()]; node_counts.len()];
+    for (ni, &nodes) in node_counts.iter().enumerate() {
+        print!("{nodes:>6}");
+        for (bi, &batch) in batch_sizes.iter().enumerate() {
+            let mut sim = SimCluster::new(SimClusterConfig::paper_scale(nodes, batch))
+                .expect("config");
+            let report = sim.run(&clients).expect("run");
+            let tput = report.throughput();
+            matrix[ni][bi] = tput;
+            print!(" {tput:>13.0}");
+            rows.push(format!(
+                "{nodes},{batch},{tput:.0},{},{}",
+                report.duration.as_micros(),
+                report.batch_latency.mean.as_micros()
+            ));
+        }
+        println!();
+    }
+
+    println!("\nchecks:");
+    let gain_batched = matrix[3][1] / matrix[0][1];
+    let batch_advantage_1 = matrix[0][1] / matrix[0][0];
+    let batch_advantage_4 = matrix[3][1] / matrix[3][0];
+    let large_batch_close = matrix[3][2] / matrix[3][1];
+    println!("  batch=128 scaling 1→4 nodes:     {gain_batched:.2}x (paper: ~2.5-3x)");
+    println!("  batch advantage at 1 node:       {batch_advantage_1:.1}x (paper: ~1 order of magnitude)");
+    println!("  batch advantage at 4 nodes:      {batch_advantage_4:.1}x");
+    println!("  batch 2048 vs 128 at 4 nodes:    {large_batch_close:.2}x (paper: similar, ≈1x)");
+
+    write_csv(
+        "fig5",
+        "nodes,batch_size,chunks_per_sec,duration_us,mean_batch_latency_us",
+        &rows,
+    );
+}

@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the substrate hot paths: hashing,
+//! bloom filters, caches, the cuckoo table, chunking, the flash store,
+//! ring routing, and wire encode/decode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use shhc_baseline::CuckooTable;
+use shhc_bloom::BloomFilter;
+use shhc_cache::{Cache, LruCache};
+use shhc_chunking::{Chunker, GearChunker, RabinChunker};
+use shhc_flash::{FlashConfig, FlashStore};
+use shhc_hash::{fnv1a64, xxh64, Sha1};
+use shhc_net::{decode, encode, Frame};
+use shhc_ring::{ConsistentHashRing, Partitioner};
+use shhc_types::{Fingerprint, StreamId};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    let data_8k = vec![0xA5u8; 8192];
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("sha1_8k", |b| {
+        b.iter(|| Sha1::digest(black_box(&data_8k)));
+    });
+    group.bench_function("xxh64_8k", |b| {
+        b.iter(|| xxh64(black_box(&data_8k), 0));
+    });
+    group.bench_function("fnv1a_8k", |b| {
+        b.iter(|| fnv1a64(black_box(&data_8k)));
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    let mut bloom = BloomFilter::with_rate(1_000_000, 0.01);
+    for i in 0..500_000u64 {
+        bloom.insert(&i.to_le_bytes());
+    }
+    let mut i = 0u64;
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            bloom.insert(&i.to_le_bytes());
+        });
+    });
+    group.bench_function("query_hit", |b| {
+        b.iter(|| bloom.contains(black_box(&42u64.to_le_bytes())));
+    });
+    group.bench_function("query_miss", |b| {
+        b.iter(|| bloom.contains(black_box(&0xdead_beef_0000u64.to_le_bytes())));
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+    let mut cache: LruCache<u64, u64> = LruCache::new(100_000);
+    for i in 0..100_000u64 {
+        cache.insert(i, i);
+    }
+    let mut i = 0u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            cache.get(black_box(&i)).copied()
+        });
+    });
+    let mut j = 100_000u64;
+    group.bench_function("insert_evict", |b| {
+        b.iter(|| {
+            j += 1;
+            cache.insert(j, j)
+        });
+    });
+    group.finish();
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo");
+    let mut table = CuckooTable::with_capacity(1_000_000);
+    for i in 0..800_000u64 {
+        table.insert(Fingerprint::from_u64(i), i);
+    }
+    let mut i = 0u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 800_000;
+            table.get(black_box(Fingerprint::from_u64(i)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunking");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut data = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut data);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let rabin = RabinChunker::new(2048, 8192, 65536);
+    group.bench_function("rabin_1MiB", |b| {
+        b.iter(|| rabin.chunk(black_box(&data)).count());
+    });
+    let gear = GearChunker::new(2048, 8192, 65536);
+    group.bench_function("gear_1MiB", |b| {
+        b.iter(|| gear.chunk(black_box(&data)).count());
+    });
+    group.finish();
+}
+
+fn bench_flash_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash_store");
+    let mut store = FlashStore::new(FlashConfig::medium_test()).expect("config");
+    for i in 0..50_000u64 {
+        store.put(Fingerprint::from_u64(i), i).expect("put");
+    }
+    store.flush().expect("flush");
+    let mut i = 0u64;
+    group.bench_function("get_cold", |b| {
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            store.get(black_box(Fingerprint::from_u64(i))).expect("get")
+        });
+    });
+    let mut j = 0u64;
+    group.bench_function("put_buffered", |b| {
+        b.iter(|| {
+            // Steady-state put path: overwrite within a bounded key space
+            // so the simulated device never fills, however many samples
+            // Criterion takes.
+            j += 1;
+            let key = 1_000_000 + (j % 20_000);
+            store.put(Fingerprint::from_u64(key), j).expect("put")
+        });
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    let ring = ConsistentHashRing::with_nodes(16, 64);
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("route", |b| {
+        b.iter(|| ring.route(black_box(rng.gen::<u64>())));
+    });
+    group.bench_function("replicas_3", |b| {
+        b.iter(|| ring.replicas(black_box(rng.gen::<u64>()), 3));
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let frame = Frame::LookupInsertReq {
+        correlation: 1,
+        stream: StreamId::new(0),
+        fingerprints: (0..128).map(Fingerprint::from_u64).collect(),
+    };
+    let bytes = encode(&frame);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_128", |b| {
+        b.iter(|| encode(black_box(&frame)));
+    });
+    group.bench_function("decode_128", |b| {
+        b.iter(|| decode(black_box(&bytes)).expect("decode"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hashes, bench_bloom, bench_cache, bench_cuckoo, bench_chunking, bench_flash_store, bench_ring, bench_wire
+}
+criterion_main!(benches);

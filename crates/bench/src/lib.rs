@@ -1,0 +1,73 @@
+//! Shared plumbing for the experiment harnesses.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md §4 for the index) and writes a CSV sidecar
+//! under `results/` at the workspace root.
+//!
+//! Scale knobs (environment variables):
+//! - `SHHC_SCALE` — divisor applied to the Table I workloads (default
+//!   16; 1 = the paper's full trace sizes),
+//! - `SHHC_FIG1_REQUESTS` — request count for the Figure 1 simulator
+//!   (default 100 000, the paper's value).
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Workload scale divisor (`SHHC_SCALE`, default 16).
+pub fn scale() -> usize {
+    std::env::var("SHHC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(16)
+}
+
+/// Figure-1 request count (`SHHC_FIG1_REQUESTS`, default 100 000).
+pub fn fig1_requests() -> u64 {
+    std::env::var("SHHC_FIG1_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(100_000)
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes `rows` (plus a header) as `results/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut file = File::create(&path).expect("create csv");
+    writeln!(file, "{header}").expect("write csv header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write csv row");
+    }
+    println!("\n→ wrote {}", path.display());
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("════════════════════════════════════════════════════════════════");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("════════════════════════════════════════════════════════════════");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // Env-independent sanity: parsing falls back to defaults.
+        assert!(scale() >= 1);
+        assert!(fig1_requests() >= 1);
+    }
+}

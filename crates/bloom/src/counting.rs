@@ -1,0 +1,225 @@
+//! Counting bloom filter (4-bit counters) supporting deletion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{probes, BloomParams};
+
+/// A bloom filter whose bits are 4-bit saturating counters, allowing
+/// deletions.
+///
+/// SHHC's base design only ever adds fingerprints, but garbage collection
+/// of expired backups (a future-work item in the paper) requires removing
+/// entries from the summary; the counting filter is the standard answer.
+/// Counters saturate at 15 and, once saturated, are never decremented —
+/// the filter degrades to "possibly present" for such slots rather than
+/// risking false negatives.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_bloom::CountingBloomFilter;
+///
+/// let mut cbf = CountingBloomFilter::with_rate(1000, 0.01);
+/// cbf.insert(b"fp");
+/// assert!(cbf.contains(b"fp"));
+/// cbf.remove(b"fp");
+/// assert!(!cbf.contains(b"fp"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    params: BloomParams,
+    /// Two 4-bit counters per byte.
+    counters: Vec<u8>,
+    inserted: u64,
+}
+
+const MAX_COUNT: u8 = 0xF;
+
+impl CountingBloomFilter {
+    /// Creates a filter from explicit parameters.
+    pub fn new(params: BloomParams) -> Self {
+        let n = params.bits.div_ceil(2) as usize;
+        CountingBloomFilter {
+            params,
+            counters: vec![0; n],
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter sized for `expected_items` at false-positive rate
+    /// `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1)` or `expected_items` is zero.
+    pub fn with_rate(expected_items: u64, rate: f64) -> Self {
+        Self::new(BloomParams::optimal(expected_items, rate))
+    }
+
+    fn get(&self, pos: u64) -> u8 {
+        let byte = self.counters[(pos / 2) as usize];
+        if pos.is_multiple_of(2) {
+            byte & 0xF
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn set(&mut self, pos: u64, val: u8) {
+        let slot = &mut self.counters[(pos / 2) as usize];
+        if pos.is_multiple_of(2) {
+            *slot = (*slot & 0xF0) | (val & 0xF);
+        } else {
+            *slot = (*slot & 0x0F) | (val << 4);
+        }
+    }
+
+    /// Inserts a key, incrementing its counters (saturating at 15).
+    pub fn insert(&mut self, key: &[u8]) {
+        let m = self.params.bits;
+        let positions: Vec<u64> = probes(key, self.params.hashes, m).collect();
+        for pos in positions {
+            let c = self.get(pos);
+            if c < MAX_COUNT {
+                self.set(pos, c + 1);
+            }
+        }
+        self.inserted += 1;
+    }
+
+    /// Removes a key, decrementing its counters.
+    ///
+    /// Removing a key that was never inserted can corrupt membership of
+    /// other keys (shared counters may underflow to zero); callers must
+    /// only remove keys they know are present. Saturated counters are left
+    /// untouched, trading residual false positives for safety.
+    pub fn remove(&mut self, key: &[u8]) {
+        let m = self.params.bits;
+        let positions: Vec<u64> = probes(key, self.params.hashes, m).collect();
+        for pos in positions {
+            let c = self.get(pos);
+            if c > 0 && c < MAX_COUNT {
+                self.set(pos, c - 1);
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Tests membership (false positives possible, false negatives not —
+    /// provided `remove` is only called for present keys).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let m = self.params.bits;
+        probes(key, self.params.hashes, m).all(|pos| self.get(pos) > 0)
+    }
+
+    /// Net number of keys currently accounted present.
+    pub fn len(&self) -> u64 {
+        self.inserted
+    }
+
+    /// True if no keys are currently present.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// The filter's parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Memory used by the counter array, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_cycle() {
+        let mut cbf = CountingBloomFilter::with_rate(1000, 0.01);
+        for i in 0u64..100 {
+            cbf.insert(&i.to_le_bytes());
+        }
+        for i in 0u64..100 {
+            assert!(cbf.contains(&i.to_le_bytes()));
+        }
+        for i in 0u64..50 {
+            cbf.remove(&i.to_le_bytes());
+        }
+        // Remaining keys still present (no false negatives from removal).
+        for i in 50u64..100 {
+            assert!(cbf.contains(&i.to_le_bytes()));
+        }
+        assert_eq!(cbf.len(), 50);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut cbf = CountingBloomFilter::with_rate(100, 0.01);
+        cbf.insert(b"k");
+        cbf.insert(b"k");
+        cbf.remove(b"k");
+        assert!(cbf.contains(b"k"), "one remove must not clear two inserts");
+        cbf.remove(b"k");
+        assert!(!cbf.contains(b"k"));
+    }
+
+    #[test]
+    fn counters_saturate_without_wrapping() {
+        let mut cbf = CountingBloomFilter::with_rate(10, 0.01);
+        for _ in 0..100 {
+            cbf.insert(b"hot");
+        }
+        assert!(cbf.contains(b"hot"));
+        // After saturation, removes leave the saturated counters set.
+        for _ in 0..100 {
+            cbf.remove(b"hot");
+        }
+        assert!(
+            cbf.contains(b"hot"),
+            "saturated counters must not be decremented"
+        );
+    }
+
+    #[test]
+    fn nibble_addressing_is_isolated() {
+        // Directly exercise get/set on adjacent nibbles.
+        let mut cbf = CountingBloomFilter::with_rate(64, 0.5);
+        cbf.set(0, 5);
+        cbf.set(1, 9);
+        assert_eq!(cbf.get(0), 5);
+        assert_eq!(cbf.get(1), 9);
+        cbf.set(0, 0);
+        assert_eq!(cbf.get(1), 9, "clearing nibble 0 must not touch nibble 1");
+    }
+
+    proptest! {
+        /// Insert a multiset, remove a sub-multiset; everything with
+        /// positive residual count is still reported present.
+        #[test]
+        fn prop_residual_membership(keys in proptest::collection::vec(0u16..50, 1..100)) {
+            let mut cbf = CountingBloomFilter::with_rate(500, 0.02);
+            for k in &keys {
+                cbf.insert(&k.to_le_bytes());
+            }
+            // Remove the first occurrence of each distinct key.
+            let distinct: std::collections::HashSet<_> = keys.iter().copied().collect();
+            let mut counts: std::collections::HashMap<u16, usize> = Default::default();
+            for k in &keys {
+                *counts.entry(*k).or_default() += 1;
+            }
+            for k in &distinct {
+                cbf.remove(&k.to_le_bytes());
+            }
+            for (k, c) in counts {
+                if c > 1 {
+                    prop_assert!(cbf.contains(&k.to_le_bytes()));
+                }
+            }
+        }
+    }
+}

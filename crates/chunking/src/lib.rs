@@ -1,0 +1,100 @@
+//! Chunking: splitting backup streams into non-overlapping data blocks.
+//!
+//! The deduplication pipeline described in the SHHC paper "splits data into
+//! chunks of non-overlapping data blocks, calculates a fingerprint for each
+//! chunk … and stores the fingerprint in a chunk index". This crate
+//! provides the splitting step:
+//!
+//! - [`FixedChunker`] — fixed-size blocks (the paper's evaluation uses
+//!   fixed 4 KB / 8 KB chunks),
+//! - [`RabinChunker`] — classic content-defined chunking with a Rabin
+//!   rolling hash (LBFS-style), boundaries where the windowed fingerprint
+//!   matches a mask,
+//! - [`GearChunker`] — FastCDC-style gear-hash chunking with normalized
+//!   cut-point selection.
+//!
+//! All chunkers implement [`Chunker`] and yield [`Chunk`]s carrying the
+//! SHA-1 [`Fingerprint`] of their content.
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_chunking::{Chunker, FixedChunker};
+//!
+//! let data = vec![7u8; 10_000];
+//! let chunker = FixedChunker::new(4096);
+//! let chunks: Vec<_> = chunker.chunk(&data).collect();
+//! assert_eq!(chunks.len(), 3);
+//! assert_eq!(chunks[0].data.len(), 4096);
+//! assert_eq!(chunks[2].data.len(), 10_000 - 2 * 4096);
+//! // Identical content ⇒ identical fingerprints.
+//! assert_eq!(chunks[0].fingerprint, chunks[1].fingerprint);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdc;
+mod fixed;
+
+pub use cdc::{GearChunker, RabinChunker};
+pub use fixed::FixedChunker;
+
+use shhc_types::Fingerprint;
+
+/// One chunk cut from an input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset of the chunk within the input.
+    pub offset: usize,
+    /// The chunk's content.
+    pub data: Vec<u8>,
+    /// SHA-1 fingerprint of `data`.
+    pub fingerprint: Fingerprint,
+}
+
+impl Chunk {
+    /// Length of the chunk in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the chunk carries no bytes (never produced by chunkers).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A strategy for splitting a byte stream into chunks.
+///
+/// Implementations must be deterministic: the same input always yields the
+/// same chunk sequence. Every byte of input appears in exactly one chunk,
+/// in order.
+pub trait Chunker {
+    /// Splits `data`, returning an iterator over owned chunks.
+    fn chunk<'a>(&'a self, data: &'a [u8]) -> Box<dyn Iterator<Item = Chunk> + 'a>;
+
+    /// Returns only the cut-point offsets (chunk end positions, exclusive).
+    ///
+    /// The default implementation drives [`Chunker::chunk`]; cheap
+    /// implementations may override it.
+    fn boundaries(&self, data: &[u8]) -> Vec<usize> {
+        self.chunk(data).map(|c| c.offset + c.data.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_and_empty() {
+        let c = Chunk {
+            offset: 0,
+            data: vec![1, 2, 3],
+            fingerprint: Fingerprint::ZERO,
+        };
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

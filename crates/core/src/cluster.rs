@@ -1,0 +1,817 @@
+//! The multi-threaded hash cluster.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use shhc_net::{decode, encode, Frame};
+use shhc_node::{HybridHashNode, NodeConfig};
+use shhc_ring::{ConsistentHashRing, Partitioner};
+use shhc_types::{Error, Fingerprint, NodeId, Result, StreamId};
+
+use crate::server::{node_loop, ControlMsg, ControlReply, NodeRequest, NodeSnapshot};
+
+/// Configuration of a [`ShhcCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Initial number of hash nodes.
+    pub nodes: u32,
+    /// Configuration applied to every node (and to nodes added later).
+    pub node_config: NodeConfig,
+    /// Virtual nodes per physical node on the consistent-hash ring.
+    pub vnodes: u32,
+    /// Number of replicas per fingerprint (1 = no replication).
+    pub replication: usize,
+    /// How long a client waits for a node's reply before declaring it
+    /// unavailable.
+    pub request_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A production-shaped configuration with `nodes` nodes.
+    pub fn new(nodes: u32, node_config: NodeConfig) -> Self {
+        ClusterConfig {
+            nodes,
+            node_config,
+            vnodes: 64,
+            replication: 1,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small_test(nodes: u32) -> Self {
+        Self::new(nodes, NodeConfig::small_test())
+    }
+
+    /// Sets the replication factor.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+}
+
+/// Cluster-wide aggregate statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Per-node snapshots (alive nodes only).
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl ClusterStats {
+    /// Total fingerprints stored across alive nodes.
+    pub fn total_entries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.entries).sum()
+    }
+
+    /// Per-node share of all stored fingerprints (the Figure 6 metric).
+    pub fn entry_shares(&self) -> Vec<(NodeId, f64)> {
+        let total = self.total_entries().max(1) as f64;
+        self.nodes
+            .iter()
+            .map(|n| (n.id, n.entries as f64 / total))
+            .collect()
+    }
+}
+
+/// Result of an online rebalance (node addition or removal).
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceReport {
+    /// Fingerprints moved between nodes.
+    pub moved: u64,
+    /// Fingerprints examined.
+    pub scanned: u64,
+}
+
+struct NodeSlot {
+    sender: Option<Sender<NodeRequest>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct Inner {
+    config: ClusterConfig,
+    nodes: RwLock<Vec<NodeSlot>>,
+    /// Handles are joined under a separate lock to keep the hot path
+    /// read-only.
+    join_guard: Mutex<()>,
+    ring: RwLock<ConsistentHashRing>,
+    correlation: AtomicU64,
+}
+
+/// The scalable hybrid hash cluster: a set of node server threads behind
+/// consistent-hash routing — the paper's SHHC tier.
+///
+/// Handles are cheaply cloneable; all operations take `&self`, so many
+/// client threads can drive the cluster concurrently (each request gets
+/// its own reply channel).
+///
+/// See the [crate docs](crate) for a quick-start example.
+#[derive(Clone)]
+pub struct ShhcCluster {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ShhcCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShhcCluster")
+            .field("nodes", &self.inner.nodes.read().len())
+            .field("replication", &self.inner.config.replication)
+            .finish()
+    }
+}
+
+impl ShhcCluster {
+    /// Spawns the cluster: one server thread per node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-configuration errors; no threads are left running
+    /// on failure.
+    pub fn spawn(config: ClusterConfig) -> Result<Self> {
+        if config.nodes == 0 {
+            return Err(Error::invalid("cluster needs at least one node"));
+        }
+        let mut slots = Vec::with_capacity(config.nodes as usize);
+        for i in 0..config.nodes {
+            let slot = spawn_node(NodeId::new(i), config.node_config.clone())?;
+            slots.push(slot);
+        }
+        let ring = ConsistentHashRing::with_nodes(config.nodes, config.vnodes);
+        Ok(ShhcCluster {
+            inner: Arc::new(Inner {
+                config,
+                nodes: RwLock::new(slots),
+                join_guard: Mutex::new(()),
+                ring: RwLock::new(ring),
+                correlation: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// Number of node slots (including killed nodes).
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+
+    /// Number of nodes currently accepting requests.
+    pub fn alive_count(&self) -> usize {
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|s| s.sender.is_some())
+            .count()
+    }
+
+    fn next_correlation(&self) -> u64 {
+        self.inner.correlation.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends a data-plane frame to `node` and awaits the decoded reply.
+    fn exchange(&self, node: NodeId, frame: &Frame) -> Result<Frame> {
+        let sender = {
+            let nodes = self.inner.nodes.read();
+            let slot = nodes
+                .get(node.index())
+                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+            slot.sender
+                .clone()
+                .ok_or_else(|| Error::Unavailable(format!("{node} is down")))?
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        sender
+            .send(NodeRequest::Data {
+                frame: encode(frame),
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Unavailable(format!("{node} is down")))?;
+        let bytes = reply_rx
+            .recv_timeout(self.inner.config.request_timeout)
+            .map_err(|_| Error::Unavailable(format!("{node} did not reply")))?;
+        let reply = decode(&bytes)?;
+        if let Frame::Error { message, .. } = &reply {
+            return Err(Error::Io(format!("{node} failed: {message}")));
+        }
+        Ok(reply)
+    }
+
+    fn control(&self, node: NodeId, msg: ControlMsg) -> Result<ControlReply> {
+        let sender = {
+            let nodes = self.inner.nodes.read();
+            let slot = nodes
+                .get(node.index())
+                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+            slot.sender
+                .clone()
+                .ok_or_else(|| Error::Unavailable(format!("{node} is down")))?
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        sender
+            .send(NodeRequest::Control {
+                msg,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Unavailable(format!("{node} is down")))?;
+        let reply = reply_rx
+            .recv_timeout(self.inner.config.request_timeout)
+            .map_err(|_| Error::Unavailable(format!("{node} did not reply")))?;
+        if let ControlReply::Failed(m) = &reply {
+            return Err(Error::Io(format!("{node} control failed: {m}")));
+        }
+        Ok(reply)
+    }
+
+    /// Groups fingerprints (with their positions) by replica set.
+    fn group_by_replicas(
+        &self,
+        fps: &[Fingerprint],
+    ) -> BTreeMap<Vec<NodeId>, (Vec<usize>, Vec<Fingerprint>)> {
+        let ring = self.inner.ring.read();
+        let replication = self.inner.config.replication;
+        let mut groups: BTreeMap<Vec<NodeId>, (Vec<usize>, Vec<Fingerprint>)> = BTreeMap::new();
+        for (i, fp) in fps.iter().enumerate() {
+            let replicas = ring.replicas(fp.route_key(), replication);
+            let entry = groups.entry(replicas).or_default();
+            entry.0.push(i);
+            entry.1.push(*fp);
+        }
+        groups
+    }
+
+    /// The paper's operation over the whole cluster: batched
+    /// lookup-with-insert. Returns per-fingerprint existence.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] when a fingerprint's entire replica set is
+    /// down; node-side failures surface as [`Error::Io`].
+    pub fn lookup_insert_batch(&self, fps: &[Fingerprint]) -> Result<Vec<bool>> {
+        Ok(self.lookup_insert_batch_values(fps)?.0)
+    }
+
+    /// Like [`ShhcCluster::lookup_insert_batch`], also returning the
+    /// stored value for each existing fingerprint (zero for new ones).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShhcCluster::lookup_insert_batch`].
+    pub fn lookup_insert_batch_values(
+        &self,
+        fps: &[Fingerprint],
+    ) -> Result<(Vec<bool>, Vec<u64>)> {
+        let mut exists = vec![false; fps.len()];
+        let mut values = vec![0u64; fps.len()];
+        for (replicas, (positions, group)) in self.group_by_replicas(fps) {
+            let frame = Frame::LookupInsertReq {
+                correlation: self.next_correlation(),
+                stream: StreamId::new(0),
+                fingerprints: group.clone(),
+            };
+            // Fan out to every replica (they all insert). Answers are
+            // merged with OR semantics: a fingerprint exists if *any*
+            // replica knows it — so a cold-restarted primary does not
+            // cause spurious re-uploads while its replicas still remember
+            // the data. Values come from the first replica (ring order)
+            // that reported the fingerprint present.
+            let mut merged: Option<(Vec<bool>, Vec<u64>)> = None;
+            let mut last_err = None;
+            for &node in &replicas {
+                match self.exchange(node, &frame) {
+                    Ok(Frame::LookupResp {
+                        exists: e,
+                        values: v,
+                        ..
+                    }) => {
+                        let full = expand_values(&e, &v)?;
+                        match &mut merged {
+                            None => merged = Some((e, full)),
+                            Some((me, mv)) => {
+                                if e.len() != me.len() {
+                                    return Err(Error::Decode(
+                                        "replica replies disagree on batch size".into(),
+                                    ));
+                                }
+                                for i in 0..e.len() {
+                                    if e[i] && !me[i] {
+                                        me[i] = true;
+                                        mv[i] = full[i];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        last_err = Some(Error::Decode(format!(
+                            "unexpected reply {other:?}"
+                        )));
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            let (e, full_values) = merged.ok_or_else(|| {
+                last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
+            })?;
+            if e.len() != positions.len() {
+                return Err(Error::Decode(format!(
+                    "reply covers {} fingerprints, expected {}",
+                    e.len(),
+                    positions.len()
+                )));
+            }
+            for (k, &pos) in positions.iter().enumerate() {
+                exists[pos] = e[k];
+                values[pos] = full_values[k];
+            }
+        }
+        Ok((exists, values))
+    }
+
+    /// Read-only batched existence query (no insertion on miss).
+    ///
+    /// # Errors
+    ///
+    /// Same availability semantics as lookups.
+    pub fn query_batch(&self, fps: &[Fingerprint]) -> Result<Vec<bool>> {
+        let mut exists = vec![false; fps.len()];
+        let mut values = vec![0u64; fps.len()];
+        for (replicas, (positions, group)) in self.group_by_replicas(fps) {
+            let frame = Frame::QueryReq {
+                correlation: self.next_correlation(),
+                fingerprints: group.clone(),
+            };
+            let mut answered = false;
+            let mut last_err = None;
+            for &node in &replicas {
+                match self.exchange(node, &frame) {
+                    Ok(Frame::LookupResp {
+                        exists: e,
+                        values: v,
+                        ..
+                    }) => {
+                        scatter(&positions, &e, &v, &mut exists, &mut values)?;
+                        answered = true;
+                        break;
+                    }
+                    Ok(other) => {
+                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !answered {
+                return Err(last_err
+                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+            }
+        }
+        Ok(exists)
+    }
+
+    /// Associates storage-assigned values with fingerprints previously
+    /// inserted as new (fan-out to all replicas).
+    ///
+    /// # Errors
+    ///
+    /// Same availability semantics as lookups.
+    pub fn record_batch(&self, pairs: &[(Fingerprint, u64)]) -> Result<()> {
+        let fps: Vec<Fingerprint> = pairs.iter().map(|(fp, _)| *fp).collect();
+        for (replicas, (positions, _)) in self.group_by_replicas(&fps) {
+            let group_pairs: Vec<(Fingerprint, u64)> =
+                positions.iter().map(|&i| pairs[i]).collect();
+            let frame = Frame::RecordReq {
+                correlation: self.next_correlation(),
+                pairs: group_pairs,
+            };
+            let mut any_ok = false;
+            let mut last_err = None;
+            for &node in &replicas {
+                match self.exchange(node, &frame) {
+                    Ok(Frame::Ack { .. }) => any_ok = true,
+                    Ok(other) => {
+                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !any_ok {
+                return Err(last_err
+                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes fingerprints from the cluster (fan-out to all replicas) —
+    /// the garbage-collection path when chunks lose their last reference.
+    ///
+    /// The per-node bloom filters cannot unlearn removed fingerprints;
+    /// they degrade to extra false positives (one wasted SSD probe each)
+    /// until a node is rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Same availability semantics as lookups.
+    pub fn remove_batch(&self, fps: &[Fingerprint]) -> Result<()> {
+        for (replicas, (_positions, group)) in self.group_by_replicas(fps) {
+            let frame = Frame::RemoveReq {
+                correlation: self.next_correlation(),
+                fingerprints: group,
+            };
+            let mut any_ok = false;
+            let mut last_err = None;
+            for &node in &replicas {
+                match self.exchange(node, &frame) {
+                    Ok(Frame::Ack { .. }) => any_ok = true,
+                    Ok(other) => {
+                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !any_ok {
+                return Err(last_err
+                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every alive node's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane failures (a node dying mid-snapshot).
+    pub fn stats(&self) -> Result<ClusterStats> {
+        let node_ids: Vec<NodeId> = {
+            let nodes = self.inner.nodes.read();
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.sender.is_some())
+                .map(|(i, _)| NodeId::new(i as u32))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(node_ids.len());
+        for id in node_ids {
+            if let ControlReply::Stats(snap) = self.control(id, ControlMsg::Stats)? {
+                out.push(*snap);
+            }
+        }
+        Ok(ClusterStats { nodes: out })
+    }
+
+    /// Flushes every node's SSD write buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node failure.
+    pub fn flush_all(&self) -> Result<()> {
+        let n = self.node_count();
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            match self.control(id, ControlMsg::Flush) {
+                Ok(_) => {}
+                Err(Error::Unavailable(_)) => {} // dead nodes have nothing to flush
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates a node crash: the node stops accepting requests and its
+    /// thread exits. Its data is lost (as with a machine failure); with
+    /// `replication > 1`, lookups keep working via the replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] for an unknown node.
+    pub fn kill_node(&self, node: NodeId) -> Result<()> {
+        let (sender, handle) = {
+            let mut nodes = self.inner.nodes.write();
+            let slot = nodes
+                .get_mut(node.index())
+                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+            (slot.sender.take(), slot.handle.take())
+        };
+        drop(sender);
+        if let Some(handle) = handle {
+            let _guard = self.inner.join_guard.lock();
+            handle
+                .join()
+                .map_err(|_| Error::Io(format!("{node} thread panicked")))?;
+        }
+        Ok(())
+    }
+
+    /// Restarts a killed node with an empty store (cold standby coming
+    /// back). The ring is unchanged; the node re-learns fingerprints as
+    /// traffic arrives (or via an explicit rebalance).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if the node is still alive or unknown.
+    pub fn restart_node(&self, node: NodeId) -> Result<()> {
+        let mut nodes = self.inner.nodes.write();
+        let slot = nodes
+            .get_mut(node.index())
+            .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+        if slot.sender.is_some() {
+            return Err(Error::invalid(format!("{node} is still running")));
+        }
+        *slot = spawn_node(node, self.inner.config.node_config.clone())?;
+        Ok(())
+    }
+
+    /// Adds a fresh node and migrates the fingerprints the new ring
+    /// assigns to it (the paper's "dynamic resource scaling" future-work
+    /// item).
+    ///
+    /// With `replication > 1`, migration covers the new node's *primary*
+    /// ranges; replica sets that shift between other nodes are not
+    /// re-replicated. A fingerprint whose entire (new) replica set missed
+    /// the migration reads as new — which is safe for deduplication (the
+    /// client re-uploads one chunk and the entry is re-registered), and
+    /// mirrors the paper leaving full fault-tolerance to future work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn and migration failures.
+    pub fn add_node(&self) -> Result<(NodeId, RebalanceReport)> {
+        let new_id = {
+            let mut nodes = self.inner.nodes.write();
+            let id = NodeId::new(nodes.len() as u32);
+            nodes.push(spawn_node(id, self.inner.config.node_config.clone())?);
+            id
+        };
+        let new_ring = {
+            let ring = self.inner.ring.read();
+            let mut r = ring.clone();
+            r.add_node(new_id);
+            r
+        };
+
+        let mut report = RebalanceReport::default();
+        let old_ids: Vec<NodeId> = (0..self.node_count() as u32 - 1).map(NodeId::new).collect();
+        for old in old_ids {
+            let entries = match self.control(old, ControlMsg::Scan) {
+                Ok(ControlReply::Scan(entries)) => entries,
+                Ok(_) => continue,
+                Err(Error::Unavailable(_)) => continue, // dead node: nothing to move
+                Err(e) => return Err(e),
+            };
+            report.scanned += entries.len() as u64;
+            let moving: Vec<(Fingerprint, u64)> = entries
+                .into_iter()
+                .filter(|(fp, _)| new_ring.route_fingerprint(*fp) == new_id)
+                .collect();
+            if moving.is_empty() {
+                continue;
+            }
+            // Insert on the new node (lookup_insert populates bloom and
+            // live count; record sets the real values).
+            let fps: Vec<Fingerprint> = moving.iter().map(|(fp, _)| *fp).collect();
+            self.exchange(
+                new_id,
+                &Frame::LookupInsertReq {
+                    correlation: self.next_correlation(),
+                    stream: StreamId::new(0),
+                    fingerprints: fps.clone(),
+                },
+            )?;
+            self.exchange(
+                new_id,
+                &Frame::RecordReq {
+                    correlation: self.next_correlation(),
+                    pairs: moving,
+                },
+            )?;
+            self.control(old, ControlMsg::RemoveBatch(fps.clone()))?;
+            report.moved += fps.len() as u64;
+        }
+
+        *self.inner.ring.write() = new_ring;
+        Ok((new_id, report))
+    }
+
+    /// Gracefully shuts down every node thread.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first thread that fails to join.
+    pub fn shutdown(self) -> Result<()> {
+        let n = self.node_count();
+        for i in 0..n {
+            let _ = self.control(NodeId::new(i as u32), ControlMsg::Shutdown);
+        }
+        let mut nodes = self.inner.nodes.write();
+        for (i, slot) in nodes.iter_mut().enumerate() {
+            slot.sender = None;
+            if let Some(handle) = slot.handle.take() {
+                handle
+                    .join()
+                    .map_err(|_| Error::Io(format!("node-{i} thread panicked")))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn spawn_node(id: NodeId, config: NodeConfig) -> Result<NodeSlot> {
+    let node = HybridHashNode::new(id, config)?;
+    let (tx, rx) = unbounded();
+    let handle = std::thread::Builder::new()
+        .name(format!("shhc-{id}"))
+        .spawn(move || node_loop(node, rx))
+        .map_err(|e| Error::Io(format!("failed to spawn node thread: {e}")))?;
+    Ok(NodeSlot {
+        sender: Some(tx),
+        handle: Some(handle),
+    })
+}
+
+/// Expands a compact values list (one per hit) into a full-length vector
+/// parallel to `exists` (zero for misses).
+fn expand_values(exists: &[bool], values: &[u64]) -> Result<Vec<u64>> {
+    let mut out = vec![0u64; exists.len()];
+    let mut it = values.iter();
+    for (i, &e) in exists.iter().enumerate() {
+        if e {
+            out[i] = *it
+                .next()
+                .ok_or_else(|| Error::Decode("reply carries fewer values than hits".into()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Distributes a group reply back into the full-batch result vectors.
+fn scatter(
+    positions: &[usize],
+    exists: &[bool],
+    values: &[u64],
+    out_exists: &mut [bool],
+    out_values: &mut [u64],
+) -> Result<()> {
+    if exists.len() != positions.len() {
+        return Err(Error::Decode(format!(
+            "reply covers {} fingerprints, expected {}",
+            exists.len(),
+            positions.len()
+        )));
+    }
+    let mut value_iter = values.iter();
+    for (&pos, &e) in positions.iter().zip(exists.iter()) {
+        out_exists[pos] = e;
+        if e {
+            out_values[pos] = *value_iter.next().ok_or_else(|| {
+                Error::Decode("reply carries fewer values than hits".into())
+            })?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fps(range: std::ops::Range<u64>) -> Vec<Fingerprint> {
+        // Spread test keys uniformly over the ring, as real SHA-1
+        // fingerprints are.
+        range
+            .map(|i| Fingerprint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)))
+            .collect()
+    }
+
+    #[test]
+    fn dedup_across_nodes() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(4)).unwrap();
+        let batch = fps(0..200);
+        let first = cluster.lookup_insert_batch(&batch).unwrap();
+        assert!(first.iter().all(|e| !e));
+        let second = cluster.lookup_insert_batch(&batch).unwrap();
+        assert!(second.iter().all(|e| *e));
+        let stats = cluster.stats().unwrap();
+        assert_eq!(stats.total_entries(), 200);
+        // Work spread over all 4 nodes.
+        assert!(stats.nodes.iter().all(|n| n.entries > 0));
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn query_does_not_insert() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        let batch = fps(0..50);
+        let q = cluster.query_batch(&batch).unwrap();
+        assert!(q.iter().all(|e| !e));
+        assert_eq!(cluster.stats().unwrap().total_entries(), 0);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn record_then_values_round_trip() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(3)).unwrap();
+        let batch = fps(0..20);
+        cluster.lookup_insert_batch(&batch).unwrap();
+        let pairs: Vec<(Fingerprint, u64)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, fp)| (*fp, 1000 + i as u64))
+            .collect();
+        cluster.record_batch(&pairs).unwrap();
+        let (exists, values) = cluster.lookup_insert_batch_values(&batch).unwrap();
+        assert!(exists.iter().all(|e| *e));
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, 1000 + i as u64);
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn kill_without_replication_fails_some_lookups() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(3)).unwrap();
+        let batch = fps(0..100);
+        cluster.lookup_insert_batch(&batch).unwrap();
+        cluster.kill_node(NodeId::new(1)).unwrap();
+        assert_eq!(cluster.alive_count(), 2);
+        let err = cluster.lookup_insert_batch(&batch).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err}");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn replication_survives_a_crash() {
+        let cluster =
+            ShhcCluster::spawn(ClusterConfig::small_test(3).with_replication(2)).unwrap();
+        let batch = fps(0..100);
+        cluster.lookup_insert_batch(&batch).unwrap();
+        cluster.kill_node(NodeId::new(0)).unwrap();
+        let exists = cluster.lookup_insert_batch(&batch).unwrap();
+        assert!(
+            exists.iter().all(|e| *e),
+            "replicas must remember every fingerprint"
+        );
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn restart_gives_empty_node() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        cluster.lookup_insert_batch(&fps(0..50)).unwrap();
+        cluster.kill_node(NodeId::new(1)).unwrap();
+        cluster.restart_node(NodeId::new(1)).unwrap();
+        assert_eq!(cluster.alive_count(), 2);
+        // The restarted node lost its share; entries now undercount.
+        let total = cluster.stats().unwrap().total_entries();
+        assert!(total < 50, "restarted node should be empty, total {total}");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn add_node_rebalances_and_preserves_answers() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        let batch = fps(0..300);
+        cluster.lookup_insert_batch(&batch).unwrap();
+        let (new_id, report) = cluster.add_node().unwrap();
+        assert_eq!(new_id, NodeId::new(2));
+        assert!(report.moved > 0, "some fingerprints must move");
+        assert_eq!(report.scanned, 300);
+        // Every fingerprint still deduplicates after the move.
+        let exists = cluster.lookup_insert_batch(&batch).unwrap();
+        assert!(exists.iter().all(|e| *e));
+        // Totals preserved (no duplicates left behind).
+        let stats = cluster.stats().unwrap();
+        assert_eq!(stats.total_entries(), 300);
+        let new_node = stats.nodes.iter().find(|n| n.id == new_id).unwrap();
+        assert_eq!(new_node.entries, report.moved);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        let mut handles = Vec::new();
+        for c in 0..4u64 {
+            let cluster = cluster.clone();
+            handles.push(std::thread::spawn(move || {
+                let batch = fps(c * 1000..c * 1000 + 100);
+                cluster.lookup_insert_batch(&batch).unwrap();
+                let again = cluster.lookup_insert_batch(&batch).unwrap();
+                assert!(again.iter().all(|e| *e));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cluster.stats().unwrap().total_entries(), 400);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(ShhcCluster::spawn(ClusterConfig::small_test(0)).is_err());
+    }
+}

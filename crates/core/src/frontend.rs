@@ -1,0 +1,147 @@
+//! The web-front-end role: client-facing batching.
+
+use std::time::Instant;
+
+use shhc_net::Batcher;
+use shhc_types::{Fingerprint, Nanos, Result};
+
+use crate::ShhcCluster;
+
+/// A front-end session aggregating one client's fingerprints into batches
+/// before querying the hash cluster.
+///
+/// "the web front-end aggregates fingerprints from clients and sends them
+/// as a batch to hybrid nodes" — SHHC §III.A. Batching preserves the
+/// stream's spatial locality and amortizes per-message network cost; the
+/// price is queueing latency, bounded by the `max_age` knob.
+///
+/// # Examples
+///
+/// ```
+/// use shhc::{ClusterConfig, Frontend, ShhcCluster};
+/// use shhc_types::{Fingerprint, Nanos};
+///
+/// # fn main() -> Result<(), shhc_types::Error> {
+/// let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2))?;
+/// let mut frontend = Frontend::new(cluster.clone(), 4, Nanos::from_millis(50));
+/// let mut answered = 0;
+/// for i in 0..10u64 {
+///     if let Some(results) = frontend.submit(Fingerprint::from_u64(i))? {
+///         answered += results.len();
+///     }
+/// }
+/// answered += frontend.flush()?.len();
+/// assert_eq!(answered, 10);
+/// cluster.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Frontend {
+    cluster: ShhcCluster,
+    batcher: Batcher,
+    epoch: Instant,
+    batches_sent: u64,
+    fingerprints_sent: u64,
+}
+
+impl Frontend {
+    /// Creates a session batching up to `batch_size` fingerprints or
+    /// `max_age` of waiting, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(cluster: ShhcCluster, batch_size: usize, max_age: Nanos) -> Self {
+        Frontend {
+            cluster,
+            batcher: Batcher::new(batch_size, max_age),
+            epoch: Instant::now(),
+            batches_sent: 0,
+            fingerprints_sent: 0,
+        }
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos::from(self.epoch.elapsed())
+    }
+
+    /// Adds a fingerprint. When the batch closes (size or age), it is
+    /// sent to the cluster and the per-fingerprint answers are returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster failures; the batch's fingerprints are consumed
+    /// either way.
+    pub fn submit(&mut self, fp: Fingerprint) -> Result<Option<Vec<(Fingerprint, bool)>>> {
+        let now = self.now();
+        match self.batcher.push(fp, now) {
+            Some(batch) => self.dispatch(batch.fingerprints).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Sends whatever is pending, returning its answers (empty when
+    /// nothing was pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster failures.
+    pub fn flush(&mut self) -> Result<Vec<(Fingerprint, bool)>> {
+        let now = self.now();
+        match self.batcher.flush(now) {
+            Some(batch) => self.dispatch(batch.fingerprints),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn dispatch(&mut self, fps: Vec<Fingerprint>) -> Result<Vec<(Fingerprint, bool)>> {
+        let exists = self.cluster.lookup_insert_batch(&fps)?;
+        self.batches_sent += 1;
+        self.fingerprints_sent += fps.len() as u64;
+        Ok(fps.into_iter().zip(exists).collect())
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent
+    }
+
+    /// Fingerprints dispatched so far.
+    pub fn fingerprints_sent(&self) -> u64 {
+        self.fingerprints_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+
+    #[test]
+    fn batches_by_size() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        let mut fe = Frontend::new(cluster.clone(), 3, Nanos::from_secs(60));
+        assert!(fe.submit(Fingerprint::from_u64(1)).unwrap().is_none());
+        assert!(fe.submit(Fingerprint::from_u64(2)).unwrap().is_none());
+        let results = fe.submit(Fingerprint::from_u64(3)).unwrap().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|(_, existed)| !existed));
+        assert_eq!(fe.batches_sent(), 1);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn flush_sends_partial_batch() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(1)).unwrap();
+        let mut fe = Frontend::new(cluster.clone(), 100, Nanos::from_secs(60));
+        fe.submit(Fingerprint::from_u64(1)).unwrap();
+        fe.submit(Fingerprint::from_u64(1)).unwrap();
+        let results = fe.flush().unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(!results[0].1);
+        assert!(results[1].1, "duplicate within one batch deduplicates");
+        assert!(fe.flush().unwrap().is_empty());
+        cluster.shutdown().unwrap();
+    }
+}

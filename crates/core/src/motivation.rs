@@ -1,0 +1,256 @@
+//! The paper's Figure 1 simulator, rebuilt on the event kernel.
+//!
+//! "To establish this point, we developed a simulator and used it to
+//! compare the throughput of a single hash server to that of a clustered
+//! approach. In this simulation we issued hash value queries to the
+//! distributed hash cluster for different numbers of cluster nodes …
+//! For each given configuration of the hash cluster, we injected a work
+//! set of SHA-1 fingerprints of 8 KB chunks at different rates."
+//!
+//! The model: fingerprint queries arrive as a Poisson process at a
+//! configurable offered rate, are routed uniformly across `n` hash
+//! nodes (the DHT spreads SHA-1 prefixes uniformly), and each node
+//! serves them FCFS with exponentially distributed service time. The
+//! measurement is the paper's: virtual time until the last of
+//! `total_requests` lookups completes.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use shhc_sim::dist::Exponential;
+use shhc_sim::{Agent, Simulation, SimCtx};
+use shhc_types::Nanos;
+
+/// Parameters of one Figure-1 simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct MotivationConfig {
+    /// Cluster size (1 = the centralized baseline).
+    pub nodes: u32,
+    /// Offered load in lookups per second.
+    pub rate_per_sec: f64,
+    /// Lookups to complete (the paper uses 100 000).
+    pub total_requests: u64,
+    /// Mean per-lookup service time at a node (hash-table probe mix).
+    pub mean_service: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MotivationConfig {
+    fn default() -> Self {
+        MotivationConfig {
+            nodes: 1,
+            rate_per_sec: 20_000.0,
+            total_requests: 100_000,
+            // ~32 µs mean lookup: the RAM-hit / SSD-probe mix of a hybrid
+            // node; puts single-node capacity at ≈31 k lookups/s.
+            mean_service: Nanos::from_micros(32),
+            seed: 0x5348_4843,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Msg {
+    Arrival,
+    Done,
+}
+
+/// FCFS single-server hash node.
+struct NodeAgent {
+    service: Exponential,
+    busy: bool,
+    queued: VecDeque<()>,
+    served: u64,
+}
+
+impl Agent<Msg> for NodeAgent {
+    fn on_event(&mut self, ctx: &mut SimCtx<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::Arrival => {
+                if self.busy {
+                    self.queued.push_back(());
+                } else {
+                    self.busy = true;
+                    let s = self.service.sample(ctx.rng());
+                    ctx.send_self(s, Msg::Done);
+                }
+            }
+            Msg::Done => {
+                self.served += 1;
+                if self.queued.pop_front().is_some() {
+                    let s = self.service.sample(ctx.rng());
+                    ctx.send_self(s, Msg::Done);
+                } else {
+                    self.busy = false;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one configuration, returning the execution time for all requests
+/// (the Figure 1 y-axis).
+///
+/// # Examples
+///
+/// ```
+/// use shhc::motivation::{execution_time, MotivationConfig};
+///
+/// let cfg = MotivationConfig {
+///     nodes: 4,
+///     rate_per_sec: 10_000.0,
+///     total_requests: 10_000,
+///     ..MotivationConfig::default()
+/// };
+/// let t = execution_time(cfg);
+/// // At 10k req/s, injecting 10k requests takes ≈1 s.
+/// assert!(t.as_secs_f64() > 0.8 && t.as_secs_f64() < 1.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `nodes` or `total_requests` is zero, or the rate is not
+/// positive.
+pub fn execution_time(config: MotivationConfig) -> Nanos {
+    assert!(config.nodes > 0, "need at least one node");
+    assert!(config.total_requests > 0, "need at least one request");
+    let arrivals = Exponential::new(config.rate_per_sec);
+    let service_rate = 1.0 / config.mean_service.as_secs_f64();
+
+    let mut sim: Simulation<Msg> = Simulation::new(config.seed);
+    let node_ids: Vec<_> = (0..config.nodes)
+        .map(|_| {
+            sim.add_agent(Box::new(NodeAgent {
+                service: Exponential::new(service_rate),
+                busy: false,
+                queued: VecDeque::new(),
+                served: 0,
+            }))
+        })
+        .collect();
+
+    // Pre-schedule the Poisson arrival process, routing each query
+    // uniformly (SHA-1 prefixes are uniform over the ring).
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(config.seed ^ 0xA5);
+    let mut t = Nanos::ZERO;
+    for _ in 0..config.total_requests {
+        t += arrivals.sample(&mut rng);
+        let node = node_ids[rng.gen_range(0..node_ids.len())];
+        sim.schedule(t, node, Msg::Arrival);
+    }
+    sim.run()
+}
+
+/// One row of the Figure 1 dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct MotivationPoint {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Offered rate (lookups/s).
+    pub rate_per_sec: f64,
+    /// Execution time for the full request set.
+    pub execution_time: Nanos,
+}
+
+/// Sweeps offered rates × cluster sizes (the full Figure 1 grid).
+pub fn sweep(
+    node_counts: &[u32],
+    rates: &[f64],
+    base: MotivationConfig,
+) -> Vec<MotivationPoint> {
+    let mut out = Vec::with_capacity(node_counts.len() * rates.len());
+    for &nodes in node_counts {
+        for &rate in rates {
+            let cfg = MotivationConfig {
+                nodes,
+                rate_per_sec: rate,
+                ..base
+            };
+            out.push(MotivationPoint {
+                nodes,
+                rate_per_sec: rate,
+                execution_time: execution_time(cfg),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: u32, rate: f64) -> MotivationConfig {
+        MotivationConfig {
+            nodes,
+            rate_per_sec: rate,
+            total_requests: 20_000,
+            ..MotivationConfig::default()
+        }
+    }
+
+    #[test]
+    fn low_rate_is_arrival_bound() {
+        // At 5k req/s a single 31k-capacity node keeps up: the run lasts
+        // ≈ total/rate = 4 s regardless of cluster size.
+        let t1 = execution_time(cfg(1, 5_000.0));
+        let t8 = execution_time(cfg(8, 5_000.0));
+        let expected = 4.0;
+        assert!((t1.as_secs_f64() - expected).abs() / expected < 0.2, "{t1}");
+        assert!((t8.as_secs_f64() - expected).abs() / expected < 0.2, "{t8}");
+    }
+
+    #[test]
+    fn high_rate_is_service_bound_and_scales() {
+        // At 100k req/s a single node (capacity ≈31k/s) is the
+        // bottleneck: ≈ total × 32 µs = 0.64 s. Four nodes cut it ~4×.
+        let t1 = execution_time(cfg(1, 100_000.0));
+        let t4 = execution_time(cfg(4, 100_000.0));
+        assert!(
+            t1.as_secs_f64() > 0.5,
+            "single node must saturate: {t1}"
+        );
+        assert!(
+            t1.as_secs_f64() / t4.as_secs_f64() > 2.0,
+            "4 nodes should be ≳2× faster: {t1} vs {t4}"
+        );
+    }
+
+    #[test]
+    fn execution_time_decreases_with_nodes() {
+        // The paper's headline: at a fixed high rate, time is a
+        // decreasing function of cluster size.
+        let times: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&n| execution_time(cfg(n, 80_000.0)).as_secs_f64())
+            .collect();
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] <= pair[0] * 1.05,
+                "time must not increase with nodes: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            execution_time(cfg(4, 50_000.0)),
+            execution_time(cfg(4, 50_000.0))
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let points = sweep(
+            &[1, 2],
+            &[10_000.0, 50_000.0],
+            MotivationConfig {
+                total_requests: 5_000,
+                ..MotivationConfig::default()
+            },
+        );
+        assert_eq!(points.len(), 4);
+    }
+}

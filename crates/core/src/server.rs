@@ -1,0 +1,365 @@
+//! The per-node server thread: wire-format data plane plus a typed
+//! control plane.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use shhc_cache::CacheStats;
+use shhc_flash::{DeviceStats, FtlStats};
+use shhc_net::{decode, encode, Frame};
+use shhc_node::{HybridHashNode, NodeStats};
+use shhc_types::{Fingerprint, NodeId};
+
+/// A point-in-time view of one node's state, fetched over the control
+/// plane.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// The node's id.
+    pub id: NodeId,
+    /// Fingerprints stored (live records) — the Figure 6 measurement.
+    pub entries: u64,
+    /// Lookup-path counters.
+    pub stats: NodeStats,
+    /// RAM cache counters.
+    pub cache: CacheStats,
+    /// Flash device counters.
+    pub device: DeviceStats,
+    /// FTL counters.
+    pub ftl: FtlStats,
+}
+
+/// Control-plane commands (in-process only; not wire-encoded).
+#[derive(Debug)]
+pub(crate) enum ControlMsg {
+    Stats,
+    Flush,
+    Scan,
+    RemoveBatch(Vec<Fingerprint>),
+    Shutdown,
+}
+
+/// Control-plane replies.
+#[derive(Debug)]
+pub(crate) enum ControlReply {
+    Stats(Box<NodeSnapshot>),
+    Done,
+    Scan(Vec<(Fingerprint, u64)>),
+    Failed(String),
+}
+
+/// A request delivered to a node server thread.
+#[derive(Debug)]
+pub(crate) enum NodeRequest {
+    /// Wire-encoded data-plane frame plus the reply channel.
+    Data {
+        frame: Bytes,
+        reply: Sender<Bytes>,
+    },
+    /// Typed control-plane command plus the reply channel.
+    Control {
+        msg: ControlMsg,
+        reply: Sender<ControlReply>,
+    },
+}
+
+pub(crate) fn snapshot_of(node: &HybridHashNode) -> NodeSnapshot {
+    NodeSnapshot {
+        id: node.id(),
+        entries: node.entries(),
+        stats: node.stats(),
+        cache: node.cache_stats(),
+        device: node.device_stats(),
+        ftl: node.ftl_stats(),
+    }
+}
+
+/// The node server main loop: owns the node exclusively, serving requests
+/// until `Shutdown` arrives or every sender is dropped.
+pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
+    while let Ok(request) = rx.recv() {
+        match request {
+            NodeRequest::Data { frame, reply } => {
+                let response = handle_frame(&mut node, &frame);
+                // A dropped reply channel means the client gave up
+                // (timeout or crash); nothing for the server to do.
+                let _ = reply.send(encode(&response));
+            }
+            NodeRequest::Control { msg, reply } => match msg {
+                ControlMsg::Stats => {
+                    let _ = reply.send(ControlReply::Stats(Box::new(snapshot_of(&node))));
+                }
+                ControlMsg::Flush => {
+                    let r = match node.flush() {
+                        Ok(_) => ControlReply::Done,
+                        Err(e) => ControlReply::Failed(e.to_string()),
+                    };
+                    let _ = reply.send(r);
+                }
+                ControlMsg::Scan => {
+                    let r = match node.scan() {
+                        Ok(entries) => ControlReply::Scan(entries),
+                        Err(e) => ControlReply::Failed(e.to_string()),
+                    };
+                    let _ = reply.send(r);
+                }
+                ControlMsg::RemoveBatch(fps) => {
+                    let mut failed = None;
+                    for fp in fps {
+                        if let Err(e) = node.remove(fp) {
+                            failed = Some(e.to_string());
+                            break;
+                        }
+                    }
+                    let _ = reply.send(match failed {
+                        None => ControlReply::Done,
+                        Some(m) => ControlReply::Failed(m),
+                    });
+                }
+                ControlMsg::Shutdown => {
+                    let _ = reply.send(ControlReply::Done);
+                    break;
+                }
+            },
+        }
+    }
+}
+
+/// Decodes, executes and answers one data-plane frame.
+fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
+    let decoded = match decode(frame) {
+        Ok(f) => f,
+        Err(e) => {
+            return Frame::Error {
+                correlation: 0,
+                message: format!("undecodable request: {e}"),
+            }
+        }
+    };
+    let correlation = decoded.correlation();
+    match decoded {
+        Frame::LookupInsertReq { fingerprints, .. } => {
+            match node.lookup_insert_batch(&fingerprints) {
+                Ok(batch) => {
+                    let values = batch
+                        .exists
+                        .iter()
+                        .zip(batch.values.iter())
+                        .filter(|(e, _)| **e)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    Frame::LookupResp {
+                        correlation,
+                        exists: batch.exists,
+                        values,
+                    }
+                }
+                Err(e) => Frame::Error {
+                    correlation,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Frame::QueryReq { fingerprints, .. } => {
+            let mut exists = Vec::with_capacity(fingerprints.len());
+            let mut values = Vec::new();
+            for fp in fingerprints {
+                match node.query(fp) {
+                    Ok(r) => {
+                        exists.push(r.existed);
+                        if r.existed {
+                            values.push(r.value);
+                        }
+                    }
+                    Err(e) => {
+                        return Frame::Error {
+                            correlation,
+                            message: e.to_string(),
+                        }
+                    }
+                }
+            }
+            Frame::LookupResp {
+                correlation,
+                exists,
+                values,
+            }
+        }
+        Frame::RecordReq { pairs, .. } => {
+            for (fp, value) in pairs {
+                if let Err(e) = node.record(fp, value) {
+                    return Frame::Error {
+                        correlation,
+                        message: e.to_string(),
+                    };
+                }
+            }
+            Frame::Ack { correlation }
+        }
+        Frame::RemoveReq { fingerprints, .. } => {
+            for fp in fingerprints {
+                if let Err(e) = node.remove(fp) {
+                    return Frame::Error {
+                        correlation,
+                        message: e.to_string(),
+                    };
+                }
+            }
+            Frame::Ack { correlation }
+        }
+        Frame::Ping { .. } => Frame::Pong { correlation },
+        other => Frame::Error {
+            correlation,
+            message: format!("unexpected frame at node: {other:?}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use shhc_node::NodeConfig;
+    use shhc_types::StreamId;
+
+    fn spawn_test_node() -> (Sender<NodeRequest>, std::thread::JoinHandle<()>) {
+        let node = HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap();
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || node_loop(node, rx));
+        (tx, handle)
+    }
+
+    fn rpc(tx: &Sender<NodeRequest>, frame: Frame) -> Frame {
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send(NodeRequest::Data {
+            frame: encode(&frame),
+            reply: reply_tx,
+        })
+        .unwrap();
+        decode(&reply_rx.recv().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lookup_insert_round_trip() {
+        let (tx, handle) = spawn_test_node();
+        let fps: Vec<Fingerprint> = (0..5).map(Fingerprint::from_u64).collect();
+        let req = Frame::LookupInsertReq {
+            correlation: 1,
+            stream: StreamId::new(0),
+            fingerprints: fps.clone(),
+        };
+        match rpc(&tx, req.clone()) {
+            Frame::LookupResp {
+                correlation,
+                exists,
+                values,
+            } => {
+                assert_eq!(correlation, 1);
+                assert_eq!(exists, vec![false; 5]);
+                assert!(values.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match rpc(&tx, req) {
+            Frame::LookupResp { exists, values, .. } => {
+                assert_eq!(exists, vec![true; 5]);
+                assert_eq!(values.len(), 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn record_then_lookup_returns_value() {
+        let (tx, handle) = spawn_test_node();
+        let fp = Fingerprint::from_u64(9);
+        rpc(
+            &tx,
+            Frame::LookupInsertReq {
+                correlation: 1,
+                stream: StreamId::new(0),
+                fingerprints: vec![fp],
+            },
+        );
+        let ack = rpc(
+            &tx,
+            Frame::RecordReq {
+                correlation: 2,
+                pairs: vec![(fp, 777)],
+            },
+        );
+        assert_eq!(ack, Frame::Ack { correlation: 2 });
+        match rpc(
+            &tx,
+            Frame::QueryReq {
+                correlation: 3,
+                fingerprints: vec![fp],
+            },
+        ) {
+            Frame::LookupResp { exists, values, .. } => {
+                assert_eq!(exists, vec![true]);
+                assert_eq!(values, vec![777]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ping_pong_and_garbage() {
+        let (tx, handle) = spawn_test_node();
+        assert_eq!(
+            rpc(&tx, Frame::Ping { correlation: 42 }),
+            Frame::Pong { correlation: 42 }
+        );
+        // Garbage bytes get an error response, not a dead thread.
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send(NodeRequest::Data {
+            frame: Bytes::from_static(b"\xff\xff\xff"),
+            reply: reply_tx,
+        })
+        .unwrap();
+        match decode(&reply_rx.recv().unwrap()).unwrap() {
+            Frame::Error { message, .. } => assert!(message.contains("undecodable")),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn control_plane_stats_and_shutdown() {
+        let (tx, handle) = spawn_test_node();
+        let fp = Fingerprint::from_u64(3);
+        rpc(
+            &tx,
+            Frame::LookupInsertReq {
+                correlation: 1,
+                stream: StreamId::new(0),
+                fingerprints: vec![fp, fp],
+            },
+        );
+        let (ctl_tx, ctl_rx) = unbounded();
+        tx.send(NodeRequest::Control {
+            msg: ControlMsg::Stats,
+            reply: ctl_tx,
+        })
+        .unwrap();
+        match ctl_rx.recv().unwrap() {
+            ControlReply::Stats(snap) => {
+                assert_eq!(snap.entries, 1);
+                assert_eq!(snap.stats.ram_hits, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (ctl_tx, ctl_rx) = unbounded();
+        tx.send(NodeRequest::Control {
+            msg: ControlMsg::Shutdown,
+            reply: ctl_tx,
+        })
+        .unwrap();
+        assert!(matches!(ctl_rx.recv().unwrap(), ControlReply::Done));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! The end-to-end backup service: chunk → dedup → store → manifest.
+
+use std::collections::HashMap;
+
+use shhc_chunking::Chunker;
+use shhc_storage::{restore, BackupManifest, ChunkStore};
+use shhc_types::{ChunkId, Fingerprint, Result, StreamId};
+
+use crate::ShhcCluster;
+
+/// Outcome of a backup deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteReport {
+    /// Chunk references released (one per manifest entry).
+    pub references_released: usize,
+    /// Chunks whose last reference was dropped (payload freed and
+    /// fingerprint removed from the cluster).
+    pub chunks_freed: usize,
+}
+
+/// Outcome of one backup run.
+#[derive(Debug, Clone)]
+pub struct BackupReport {
+    /// The restore recipe.
+    pub manifest: BackupManifest,
+    /// Chunks in the stream.
+    pub total_chunks: usize,
+    /// Chunks whose data had to be uploaded.
+    pub new_chunks: usize,
+    /// Chunks deduplicated against existing data.
+    pub duplicate_chunks: usize,
+    /// Bytes the client logically backed up.
+    pub logical_bytes: u64,
+    /// Bytes actually shipped to storage.
+    pub stored_bytes: u64,
+}
+
+impl BackupReport {
+    /// Deduplication ratio: logical / stored (∞-safe: full dedup reports
+    /// `f64::INFINITY`).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            if self.logical_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.logical_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Fraction of chunks that were duplicates.
+    pub fn duplicate_fraction(&self) -> f64 {
+        if self.total_chunks == 0 {
+            0.0
+        } else {
+            self.duplicate_chunks as f64 / self.total_chunks as f64
+        }
+    }
+}
+
+/// The full cloud-backup pipeline of the paper's Figure 2: a client-side
+/// chunker, the SHHC fingerprint cluster in the middle, and a cloud
+/// chunk store behind it.
+///
+/// `backup` plays the client + web-front-end roles: chunk the stream,
+/// batch-query the cluster, upload only new chunks, and assemble the
+/// manifest. `restore` plays recovery, verifying every chunk against its
+/// fingerprint.
+///
+/// The service is the *single writer* for its store (concurrent backup
+/// sessions would race on chunk-location recording); the fingerprint
+/// cluster itself handles any number of concurrent services.
+///
+/// # Examples
+///
+/// ```
+/// use shhc::prelude::*;
+/// use shhc::{BackupService, ClusterConfig, ShhcCluster};
+///
+/// # fn main() -> shhc_types::Result<()> {
+/// let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2))?;
+/// let store = MemChunkStore::new(1 << 20);
+/// let mut service = BackupService::new(cluster, FixedChunker::new(256), store, 64);
+///
+/// let data = vec![42u8; 4096];
+/// let report = service.backup(StreamId::new(1), &data)?;
+/// assert_eq!(report.total_chunks, 16);
+/// assert!(report.duplicate_chunks > 0, "constant data dedups internally");
+/// let restored = service.restore(&report.manifest)?;
+/// assert_eq!(restored, data);
+/// service.cluster().clone().shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BackupService<C, S> {
+    cluster: ShhcCluster,
+    chunker: C,
+    store: S,
+    batch_size: usize,
+}
+
+impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
+    /// Creates a service; `batch_size` controls fingerprint batching
+    /// toward the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(cluster: ShhcCluster, chunker: C, store: S, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        BackupService {
+            cluster,
+            chunker,
+            store,
+            batch_size,
+        }
+    }
+
+    /// The underlying cluster handle.
+    pub fn cluster(&self) -> &ShhcCluster {
+        &self.cluster
+    }
+
+    /// The underlying chunk store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Backs up `data` as stream `stream`, returning the manifest and
+    /// dedup accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster and storage failures. On error the store may
+    /// hold chunks not referenced by any manifest (garbage, not
+    /// corruption).
+    pub fn backup(&mut self, stream: StreamId, data: &[u8]) -> Result<BackupReport> {
+        let mut manifest = BackupManifest::new(stream);
+        let mut report_new = 0usize;
+        let mut report_dup = 0usize;
+        let mut total = 0usize;
+        let mut stored_bytes = 0u64;
+        // Chunk locations assigned during *this* backup, keyed by
+        // fingerprint: duplicates of a chunk first seen in this session
+        // resolve here (the cluster may still hold the placeholder for
+        // them until record_batch lands).
+        let mut session_chunks: HashMap<Fingerprint, ChunkId> = HashMap::new();
+
+        let chunks: Vec<_> = self.chunker.chunk(data).collect();
+        for window in chunks.chunks(self.batch_size) {
+            let fps: Vec<Fingerprint> = window.iter().map(|c| c.fingerprint).collect();
+            let (exists, values) = self.cluster.lookup_insert_batch_values(&fps)?;
+
+            let mut record_pairs: Vec<(Fingerprint, u64)> = Vec::new();
+            for (i, chunk) in window.iter().enumerate() {
+                total += 1;
+                let len = chunk.data.len() as u32;
+                if exists[i] {
+                    report_dup += 1;
+                    let id = match session_chunks.get(&chunk.fingerprint) {
+                        // First stored moments ago in this session; the
+                        // cluster-side value may still be a placeholder.
+                        Some(&id) => id,
+                        None => ChunkId::from_u64(values[i]),
+                    };
+                    self.store.add_ref(id)?;
+                    manifest.push(chunk.fingerprint, id, len);
+                } else {
+                    report_new += 1;
+                    stored_bytes += chunk.data.len() as u64;
+                    let id = self.store.put(chunk.fingerprint, chunk.data.clone())?;
+                    session_chunks.insert(chunk.fingerprint, id);
+                    record_pairs.push((chunk.fingerprint, id.to_u64()));
+                    manifest.push(chunk.fingerprint, id, len);
+                }
+            }
+            if !record_pairs.is_empty() {
+                self.cluster.record_batch(&record_pairs)?;
+            }
+        }
+
+        Ok(BackupReport {
+            manifest,
+            total_chunks: total,
+            new_chunks: report_new,
+            duplicate_chunks: report_dup,
+            logical_bytes: data.len() as u64,
+            stored_bytes,
+        })
+    }
+
+    /// Adds one storage reference per entry of `manifest` — used when a
+    /// new snapshot reuses a previous snapshot's file manifest verbatim,
+    /// so each snapshot owns its references and can retire independently.
+    ///
+    /// # Errors
+    ///
+    /// [`shhc_types::Error::NotFound`] if a referenced chunk is gone
+    /// (the manifest was already retired).
+    pub fn reference_manifest(&mut self, manifest: &shhc_storage::BackupManifest) -> Result<()> {
+        for entry in &manifest.entries {
+            self.store.add_ref(entry.chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a backup: every chunk loses one reference; chunks reaching
+    /// zero references are freed from storage and their fingerprints are
+    /// removed from the hash cluster (so future backups re-upload them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and cluster failures. Deleting the same
+    /// manifest twice releases references twice — callers own manifest
+    /// lifecycle.
+    pub fn delete_backup(&mut self, manifest: &shhc_storage::BackupManifest) -> Result<DeleteReport> {
+        // A manifest may reference one chunk many times, but it only held
+        // one storage reference per distinct chunk (duplicates within the
+        // backup used add_ref at backup time, so each occurrence does own
+        // a reference).
+        let mut freed_fps: Vec<Fingerprint> = Vec::new();
+        let mut released = 0usize;
+        for entry in &manifest.entries {
+            released += 1;
+            if self.store.release(entry.chunk)? == 0 {
+                freed_fps.push(entry.fingerprint);
+            }
+        }
+        if !freed_fps.is_empty() {
+            self.cluster.remove_batch(&freed_fps)?;
+        }
+        Ok(DeleteReport {
+            references_released: released,
+            chunks_freed: freed_fps.len(),
+        })
+    }
+
+    /// Reconstructs a backup from its manifest, verifying every chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors; corruption and missing chunks are
+    /// detected.
+    pub fn restore(&self, manifest: &BackupManifest) -> Result<Vec<u8>> {
+        restore(&self.store, manifest)
+    }
+
+    /// Consumes the service, returning the store (e.g. to inspect
+    /// containers after a run).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+    use shhc_chunking::FixedChunker;
+    use shhc_storage::MemChunkStore;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn service(nodes: u32) -> BackupService<FixedChunker, MemChunkStore> {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(nodes)).unwrap();
+        BackupService::new(
+            cluster,
+            FixedChunker::new(128),
+            MemChunkStore::new(1 << 20),
+            32,
+        )
+    }
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn backup_restore_round_trip() {
+        let mut svc = service(2);
+        let data = random_data(10_000, 1);
+        let report = svc.backup(StreamId::new(1), &data).unwrap();
+        assert_eq!(report.logical_bytes, 10_000);
+        assert_eq!(report.duplicate_chunks, 0, "random data has no dups");
+        let restored = svc.restore(&report.manifest).unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn second_backup_fully_deduplicates() {
+        let mut svc = service(3);
+        let data = random_data(20_000, 2);
+        let first = svc.backup(StreamId::new(1), &data).unwrap();
+        let second = svc.backup(StreamId::new(2), &data).unwrap();
+        assert_eq!(second.new_chunks, 0);
+        assert_eq!(second.duplicate_chunks, second.total_chunks);
+        assert_eq!(second.stored_bytes, 0);
+        assert!(second.dedup_ratio().is_infinite());
+        // Both manifests restore correctly.
+        assert_eq!(svc.restore(&first.manifest).unwrap(), data);
+        assert_eq!(svc.restore(&second.manifest).unwrap(), data);
+    }
+
+    #[test]
+    fn incremental_backup_stores_only_changes() {
+        let mut svc = service(2);
+        let mut data = random_data(12_800, 3); // 100 chunks of 128
+        svc.backup(StreamId::new(1), &data).unwrap();
+        // Change exactly one chunk-aligned block.
+        data[256..384].copy_from_slice(&random_data(128, 4));
+        let second = svc.backup(StreamId::new(2), &data).unwrap();
+        assert_eq!(second.new_chunks, 1);
+        assert_eq!(second.duplicate_chunks, 99);
+        assert_eq!(svc.restore(&second.manifest).unwrap(), data);
+    }
+
+    #[test]
+    fn intra_stream_duplicates_resolved_in_session() {
+        let mut svc = service(2);
+        // The same 128-byte block repeated 50 times: first is new, the
+        // other 49 resolve via the session map (placeholder shield).
+        let block = random_data(128, 5);
+        let data: Vec<u8> = block.iter().copied().cycle().take(128 * 50).collect();
+        let report = svc.backup(StreamId::new(1), &data).unwrap();
+        assert_eq!(report.new_chunks, 1);
+        assert_eq!(report.duplicate_chunks, 49);
+        assert_eq!(svc.restore(&report.manifest).unwrap(), data);
+        assert!((report.dedup_ratio() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_session_dedup_uses_recorded_locations() {
+        let mut svc = service(2);
+        let data = random_data(5120, 6);
+        svc.backup(StreamId::new(1), &data).unwrap();
+        // New service state (fresh session map) — locations must come
+        // from the cluster's recorded values.
+        let report = svc.backup(StreamId::new(2), &data).unwrap();
+        assert_eq!(report.new_chunks, 0);
+        assert_eq!(svc.restore(&report.manifest).unwrap(), data);
+    }
+
+    #[test]
+    fn store_refcounts_track_manifests() {
+        let mut svc = service(1);
+        let data = random_data(1280, 7);
+        let r1 = svc.backup(StreamId::new(1), &data).unwrap();
+        let r2 = svc.backup(StreamId::new(2), &data).unwrap();
+        // 10 chunks stored once, referenced twice.
+        assert_eq!(svc.store().stats().chunks, 10);
+        assert_eq!(r1.manifest.len(), 10);
+        assert_eq!(r2.manifest.len(), 10);
+    }
+}

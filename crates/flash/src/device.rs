@@ -1,0 +1,344 @@
+//! The raw NAND flash device model.
+
+use shhc_types::{Error, Nanos, Result};
+
+/// Physical layout of the simulated flash device.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_flash::FlashGeometry;
+///
+/// let g = FlashGeometry::new(4096, 64, 256);
+/// assert_eq!(g.total_pages(), 64 * 256);
+/// assert_eq!(g.capacity_bytes(), 4096 * 64 * 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashGeometry {
+    /// Bytes per page (the program/read unit).
+    pub page_size: usize,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Number of erase blocks.
+    pub blocks: u32,
+}
+
+impl FlashGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (configuration bug).
+    pub fn new(page_size: usize, pages_per_block: u32, blocks: u32) -> Self {
+        assert!(page_size > 0, "page size must be nonzero");
+        assert!(pages_per_block > 0, "pages per block must be nonzero");
+        assert!(blocks > 0, "block count must be nonzero");
+        FlashGeometry {
+            page_size,
+            pages_per_block,
+            blocks,
+        }
+    }
+
+    /// Total number of pages on the device.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_block as u64 * self.blocks as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+}
+
+/// Latency model for the three flash operations.
+///
+/// Defaults reflect a SATA-II era MLC SSD like the evaluation machines'
+/// 64 GB drives: 25 µs random read, 200 µs program, 1.5 ms block erase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashLatency {
+    /// Latency of reading one page.
+    pub read: Nanos,
+    /// Latency of programming one page.
+    pub program: Nanos,
+    /// Latency of erasing one block.
+    pub erase: Nanos,
+}
+
+impl Default for FlashLatency {
+    fn default() -> Self {
+        FlashLatency {
+            read: Nanos::from_micros(25),
+            program: Nanos::from_micros(200),
+            erase: Nanos::from_micros(1500),
+        }
+    }
+}
+
+impl FlashLatency {
+    /// A zero-latency model for pure-correctness tests.
+    pub fn zero() -> Self {
+        FlashLatency {
+            read: Nanos::ZERO,
+            program: Nanos::ZERO,
+            erase: Nanos::ZERO,
+        }
+    }
+}
+
+/// Operation counters and accumulated virtual busy time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Page reads served.
+    pub reads: u64,
+    /// Page programs served.
+    pub programs: u64,
+    /// Block erases served.
+    pub erases: u64,
+    /// Total virtual time spent in device operations.
+    pub busy: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Erased,
+    Programmed,
+}
+
+/// An in-memory NAND flash device that enforces flash programming rules.
+///
+/// - a page can be read any time (reading an erased page yields an error —
+///   the FTL never does this),
+/// - a page can only be programmed when erased,
+/// - erasure happens per block and resets every page in it.
+///
+/// Violations return [`Error::DeviceViolation`] rather than silently
+/// succeeding, so FTL bugs surface in tests immediately. All operations
+/// return their [`Nanos`] cost; callers aggregate these on their own
+/// virtual clocks.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    geometry: FlashGeometry,
+    latency: FlashLatency,
+    pages: Vec<Vec<u8>>,
+    states: Vec<PageState>,
+    /// Erase count per block (wear).
+    wear: Vec<u64>,
+    stats: DeviceStats,
+}
+
+impl FlashDevice {
+    /// Creates a device with every page erased.
+    pub fn new(geometry: FlashGeometry, latency: FlashLatency) -> Self {
+        let n = geometry.total_pages() as usize;
+        FlashDevice {
+            geometry,
+            latency,
+            pages: vec![Vec::new(); n],
+            states: vec![PageState::Erased; n],
+            wear: vec![0; geometry.blocks as usize],
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> FlashGeometry {
+        self.geometry
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> FlashLatency {
+        self.latency
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Erase count of each block (wear levelling diagnostics).
+    pub fn wear(&self) -> &[u64] {
+        &self.wear
+    }
+
+    fn check_ppa(&self, ppa: u64) -> Result<usize> {
+        if ppa >= self.geometry.total_pages() {
+            return Err(Error::invalid(format!(
+                "physical page {ppa} out of range (device has {})",
+                self.geometry.total_pages()
+            )));
+        }
+        Ok(ppa as usize)
+    }
+
+    /// Reads a programmed page, returning its data and the read latency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] for an out-of-range address;
+    /// [`Error::DeviceViolation`] when reading an erased page.
+    pub fn read_page(&mut self, ppa: u64) -> Result<(&[u8], Nanos)> {
+        let idx = self.check_ppa(ppa)?;
+        if self.states[idx] != PageState::Programmed {
+            return Err(Error::DeviceViolation(format!(
+                "read of erased page {ppa}"
+            )));
+        }
+        self.stats.reads += 1;
+        self.stats.busy += self.latency.read;
+        Ok((&self.pages[idx], self.latency.read))
+    }
+
+    /// Programs an erased page with `data`, returning the program latency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DeviceViolation`] when the page is already programmed
+    /// (flash cannot overwrite in place) or `data` exceeds the page size.
+    pub fn program_page(&mut self, ppa: u64, data: &[u8]) -> Result<Nanos> {
+        let idx = self.check_ppa(ppa)?;
+        if data.len() > self.geometry.page_size {
+            return Err(Error::DeviceViolation(format!(
+                "programming {} bytes into a {}-byte page",
+                data.len(),
+                self.geometry.page_size
+            )));
+        }
+        if self.states[idx] == PageState::Programmed {
+            return Err(Error::DeviceViolation(format!(
+                "program of non-erased page {ppa} (erase the block first)"
+            )));
+        }
+        self.states[idx] = PageState::Programmed;
+        self.pages[idx] = data.to_vec();
+        self.stats.programs += 1;
+        self.stats.busy += self.latency.program;
+        Ok(self.latency.program)
+    }
+
+    /// Erases an entire block, returning the erase latency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] for an out-of-range block.
+    pub fn erase_block(&mut self, block: u32) -> Result<Nanos> {
+        if block >= self.geometry.blocks {
+            return Err(Error::invalid(format!(
+                "block {block} out of range (device has {})",
+                self.geometry.blocks
+            )));
+        }
+        let ppb = self.geometry.pages_per_block as usize;
+        let start = block as usize * ppb;
+        for idx in start..start + ppb {
+            self.states[idx] = PageState::Erased;
+            self.pages[idx] = Vec::new();
+        }
+        self.wear[block as usize] += 1;
+        self.stats.erases += 1;
+        self.stats.busy += self.latency.erase;
+        Ok(self.latency.erase)
+    }
+
+    /// True if the page is currently erased.
+    pub fn is_erased(&self, ppa: u64) -> bool {
+        self.check_ppa(ppa)
+            .map(|idx| self.states[idx] == PageState::Erased)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlashDevice {
+        FlashDevice::new(FlashGeometry::new(64, 4, 8), FlashLatency::default())
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut d = small();
+        let data = vec![0xAB; 64];
+        d.program_page(5, &data).expect("program");
+        let (read, cost) = d.read_page(5).expect("read");
+        assert_eq!(read, &data[..]);
+        assert_eq!(cost, Nanos::from_micros(25));
+    }
+
+    #[test]
+    fn cannot_overwrite_programmed_page() {
+        let mut d = small();
+        d.program_page(0, &[1]).expect("first program");
+        let err = d.program_page(0, &[2]).unwrap_err();
+        assert!(matches!(err, Error::DeviceViolation(_)), "{err}");
+    }
+
+    #[test]
+    fn erase_enables_reprogram() {
+        let mut d = small();
+        d.program_page(0, &[1]).expect("program");
+        d.erase_block(0).expect("erase");
+        assert!(d.is_erased(0));
+        d.program_page(0, &[2]).expect("reprogram after erase");
+        assert_eq!(d.read_page(0).unwrap().0, &[2]);
+    }
+
+    #[test]
+    fn erase_clears_whole_block_only() {
+        let mut d = small();
+        // Block 0 covers pages 0..4, block 1 pages 4..8.
+        d.program_page(0, &[1]).unwrap();
+        d.program_page(3, &[2]).unwrap();
+        d.program_page(4, &[3]).unwrap();
+        d.erase_block(0).unwrap();
+        assert!(d.is_erased(0) && d.is_erased(3));
+        assert!(!d.is_erased(4), "block 1 must be untouched");
+    }
+
+    #[test]
+    fn read_erased_page_is_violation() {
+        let mut d = small();
+        let err = d.read_page(1).unwrap_err();
+        assert!(matches!(err, Error::DeviceViolation(_)));
+    }
+
+    #[test]
+    fn out_of_range_addresses() {
+        let mut d = small();
+        assert!(d.read_page(32).is_err());
+        assert!(d.program_page(99, &[0]).is_err());
+        assert!(d.erase_block(8).is_err());
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let mut d = small();
+        let err = d.program_page(0, &[0; 65]).unwrap_err();
+        assert!(matches!(err, Error::DeviceViolation(_)));
+    }
+
+    #[test]
+    fn stats_and_wear_accumulate() {
+        let mut d = small();
+        d.program_page(0, &[1]).unwrap();
+        d.read_page(0).unwrap();
+        d.erase_block(0).unwrap();
+        d.erase_block(0).unwrap();
+        let s = d.stats();
+        assert_eq!((s.reads, s.programs, s.erases), (1, 1, 2));
+        assert_eq!(
+            s.busy,
+            Nanos::from_micros(25) + Nanos::from_micros(200) + Nanos::from_micros(1500) * 2
+        );
+        assert_eq!(d.wear()[0], 2);
+        assert_eq!(d.wear()[1], 0);
+    }
+
+    #[test]
+    fn zero_latency_model() {
+        let mut d = FlashDevice::new(FlashGeometry::new(16, 2, 2), FlashLatency::zero());
+        d.program_page(0, &[9]).unwrap();
+        assert_eq!(d.stats().busy, Nanos::ZERO);
+    }
+}

@@ -1,0 +1,123 @@
+//! FNV-1a 64-bit hash.
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x100_0000_01b3;
+
+/// One-shot FNV-1a over a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_hash::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(data);
+    h.finish()
+}
+
+/// Streaming FNV-1a hasher.
+///
+/// FNV is not collision resistant; SHHC uses it only for cheap internal
+/// mixing (test sharding, deterministic tie-breaking), never for
+/// fingerprints.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_hash::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// let a = h.finish();
+/// assert_eq!(a, shhc_hash::fnv1a64(b"hello"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Creates a hasher seeded with the standard offset basis.
+    pub const fn new() -> Self {
+        Fnv1a {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian bytes) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Returns the current hash value.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        Fnv1a::finish(self)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        Fnv1a::write(self, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Vectors from the canonical FNV reference code.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn hasher_trait_impl() {
+        fn hash_via_trait<H: std::hash::Hasher>(h: &mut H, data: &[u8]) -> u64 {
+            h.write(data);
+            h.finish()
+        }
+        let mut h = Fnv1a::new();
+        assert_eq!(hash_via_trait(&mut h, b"xyz"), fnv1a64(b"xyz"));
+    }
+
+    #[test]
+    fn write_u64_is_le_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

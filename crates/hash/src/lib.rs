@@ -1,0 +1,61 @@
+//! From-scratch hash primitives used across the SHHC reproduction.
+//!
+//! The paper fingerprints chunks with SHA-1 and relies on uniformly
+//! distributed hashes for routing, bucketing and bloom filters. This crate
+//! implements every hash the workspace needs without external
+//! dependencies:
+//!
+//! - [`Sha1`] — the RFC 3174 digest used for chunk fingerprints,
+//! - [`fnv1a64`] / [`Fnv1a`] — tiny non-cryptographic hash for test helpers,
+//! - [`xxh64`] — fast 64-bit hash used for bloom-filter double hashing
+//!   over arbitrary byte keys,
+//! - [`RabinHasher`] — rolling Rabin fingerprint over a sliding window,
+//!   used by the content-defined chunker,
+//! - [`GearHasher`] — the gear rolling hash used by the FastCDC-style
+//!   chunker.
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_hash::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "a9993e364706816aba3e25717850c26c9cd0d89d",
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fnv;
+mod gear;
+mod rabin;
+mod sha1;
+mod xxh;
+
+pub use fnv::{fnv1a64, Fnv1a};
+pub use gear::{GearHasher, GEAR_TABLE};
+pub use rabin::{is_irreducible, RabinHasher, RabinTables, DEFAULT_IRREDUCIBLE_POLY};
+pub use sha1::{Digest, Sha1};
+pub use xxh::xxh64;
+
+use shhc_types::Fingerprint;
+
+/// Computes the SHA-1 fingerprint of a chunk of data.
+///
+/// This is the fingerprinting function of the paper's client application:
+/// every chunk is identified by the SHA-1 digest of its content.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_hash::fingerprint_of;
+///
+/// let fp = fingerprint_of(b"hello world");
+/// assert_eq!(fp.to_hex(), "2aae6c35c94fcfb415dbe95f408b9ce91ee846ed");
+/// ```
+pub fn fingerprint_of(data: &[u8]) -> Fingerprint {
+    Fingerprint::from_bytes(Sha1::digest(data).into_bytes())
+}

@@ -1,0 +1,302 @@
+//! SHA-1 (RFC 3174), implemented from scratch.
+//!
+//! SHA-1 is cryptographically broken for adversarial collision resistance,
+//! but remains exactly what the SHHC paper (and DDFS, ChunkStash, …) use
+//! for chunk fingerprinting, where the threat model is accidental
+//! collision — vanishingly unlikely at 160 bits.
+
+use std::fmt;
+
+/// Streaming SHA-1 hasher.
+///
+/// Supports incremental input via [`Sha1::update`] and produces a
+/// [`Digest`] with [`Sha1::finalize`]. One-shot hashing is available
+/// through [`Sha1::digest`].
+///
+/// # Examples
+///
+/// ```
+/// use shhc_hash::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finalize(), Sha1::digest(b"hello world"));
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sha1 {{ bytes_hashed: {} }}", self.len)
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A finalized 160-bit SHA-1 digest.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_hash::Sha1;
+/// let d = Sha1::digest(b"");
+/// assert_eq!(d.to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest([u8; 20]);
+
+impl Digest {
+    /// Returns the digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning its bytes.
+    pub const fn into_bytes(self) -> [u8; 20] {
+        self.0
+    }
+
+    /// Lowercase hex representation.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Feeds `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially buffered block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+
+        // Whole blocks straight from the input.
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let arr: &[u8; 64] = block.try_into().expect("split_at(64) yields 64 bytes");
+            self.compress(arr);
+            input = rest;
+        }
+
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    /// Consumes the hasher, producing the final digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80 then zero padding up to 56 mod 64, then the length.
+        self.update_padding(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_padding(&[0]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// `update` without advancing the message length; used for padding.
+    fn update_padding(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buf[self.buf_len] = b;
+            self.buf_len += 1;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 3174 / well-known test vectors.
+    #[test]
+    fn reference_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy cog",
+                "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3",
+            ),
+        ];
+        for (input, hex) in cases {
+            assert_eq!(Sha1::digest(input).to_hex(), *hex, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 64- and 55/56-byte messages exercise the padding edge cases.
+        for n in [55usize, 56, 63, 64, 65, 127, 128] {
+            let data = vec![0x5a; n];
+            let one_shot = Sha1::digest(&data);
+            let mut streaming = Sha1::new();
+            for b in &data {
+                streaming.update(std::slice::from_ref(b));
+            }
+            assert_eq!(streaming.finalize(), one_shot, "length {n}");
+        }
+    }
+
+    #[test]
+    fn debug_shows_progress() {
+        let mut h = Sha1::new();
+        h.update(b"xyz");
+        assert!(format!("{h:?}").contains("bytes_hashed: 3"));
+    }
+
+    proptest! {
+        /// Incremental hashing over arbitrary split points equals one-shot.
+        #[test]
+        fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                      split in 0usize..2048) {
+            let split = split.min(data.len());
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        }
+
+        /// Distinct single-bit flips change the digest (weak avalanche sanity).
+        #[test]
+        fn bit_flip_changes_digest(data in proptest::collection::vec(any::<u8>(), 1..256),
+                                   idx in 0usize..256, bit in 0u8..8) {
+            let idx = idx % data.len();
+            let mut flipped = data.clone();
+            flipped[idx] ^= 1 << bit;
+            prop_assert_ne!(Sha1::digest(&data), Sha1::digest(&flipped));
+        }
+    }
+}

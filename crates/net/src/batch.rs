@@ -1,0 +1,203 @@
+//! Front-end fingerprint batching.
+
+use shhc_types::{Fingerprint, Nanos};
+
+/// A batch of fingerprints released by a [`Batcher`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The fingerprints, in arrival order.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Virtual time the first fingerprint entered the batch.
+    pub opened_at: Nanos,
+    /// Virtual time the batch was released.
+    pub closed_at: Nanos,
+}
+
+impl Batch {
+    /// Number of fingerprints in the batch.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// True if the batch carries nothing (never produced by a `Batcher`).
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// How long the first fingerprint waited for the batch to close —
+    /// the batching latency the paper's future-work section worries
+    /// about.
+    pub fn queueing_delay(&self) -> Nanos {
+        self.closed_at - self.opened_at
+    }
+}
+
+/// Aggregates fingerprints into batches of at most `max_size`, releasing
+/// early when the oldest entry has waited `max_age`.
+///
+/// "the web front-end aggregates fingerprints from clients and sends them
+/// as a batch to hybrid nodes" — SHHC §III.A. The size/age pair is the
+/// throughput-versus-latency dial explored in the batch-tradeoff bench.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_net::Batcher;
+/// use shhc_types::{Fingerprint, Nanos};
+///
+/// let mut batcher = Batcher::new(3, Nanos::from_millis(10));
+/// assert!(batcher.push(Fingerprint::from_u64(1), Nanos::ZERO).is_none());
+/// assert!(batcher.push(Fingerprint::from_u64(2), Nanos::ZERO).is_none());
+/// let batch = batcher.push(Fingerprint::from_u64(3), Nanos::ZERO).unwrap();
+/// assert_eq!(batch.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    max_size: usize,
+    max_age: Nanos,
+    pending: Vec<Fingerprint>,
+    opened_at: Nanos,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given size and age limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn new(max_size: usize, max_age: Nanos) -> Self {
+        assert!(max_size > 0, "batch size must be nonzero");
+        Batcher {
+            max_size,
+            max_age,
+            pending: Vec::new(),
+            opened_at: Nanos::ZERO,
+        }
+    }
+
+    /// Adds a fingerprint at virtual time `now`; returns a full batch when
+    /// the size limit is reached or the age limit has expired.
+    pub fn push(&mut self, fp: Fingerprint, now: Nanos) -> Option<Batch> {
+        if self.pending.is_empty() {
+            self.opened_at = now;
+        }
+        self.pending.push(fp);
+        if self.pending.len() >= self.max_size || now - self.opened_at >= self.max_age {
+            self.close(now)
+        } else {
+            None
+        }
+    }
+
+    /// Releases the pending batch if the oldest entry has exceeded the
+    /// age limit by `now` (for timer-driven flushing).
+    pub fn poll(&mut self, now: Nanos) -> Option<Batch> {
+        if !self.pending.is_empty() && now - self.opened_at >= self.max_age {
+            self.close(now)
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally releases whatever is pending.
+    pub fn flush(&mut self, now: Nanos) -> Option<Batch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            self.close(now)
+        }
+    }
+
+    fn close(&mut self, now: Nanos) -> Option<Batch> {
+        let fingerprints = std::mem::take(&mut self.pending);
+        Some(Batch {
+            fingerprints,
+            opened_at: self.opened_at,
+            closed_at: now,
+        })
+    }
+
+    /// Number of fingerprints currently waiting.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The configured maximum batch size.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// The configured maximum batch age.
+    pub fn max_age(&self) -> Nanos {
+        self.max_age
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::from_u64(v)
+    }
+
+    #[test]
+    fn size_trigger() {
+        let mut b = Batcher::new(2, Nanos::from_secs(1));
+        assert!(b.push(fp(1), Nanos::ZERO).is_none());
+        let batch = b.push(fp(2), Nanos::from_micros(5)).expect("size limit");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.queueing_delay(), Nanos::from_micros(5));
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn age_trigger_on_push() {
+        let mut b = Batcher::new(100, Nanos::from_micros(10));
+        assert!(b.push(fp(1), Nanos::ZERO).is_none());
+        let batch = b.push(fp(2), Nanos::from_micros(10)).expect("age limit");
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn poll_releases_stale_batch() {
+        let mut b = Batcher::new(100, Nanos::from_micros(10));
+        b.push(fp(1), Nanos::ZERO);
+        assert!(b.poll(Nanos::from_micros(5)).is_none());
+        let batch = b.poll(Nanos::from_micros(11)).expect("stale");
+        assert_eq!(batch.len(), 1);
+        assert!(b.poll(Nanos::from_micros(20)).is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn flush_empties_pending() {
+        let mut b = Batcher::new(100, Nanos::from_secs(1));
+        assert!(b.flush(Nanos::ZERO).is_none());
+        b.push(fp(1), Nanos::ZERO);
+        b.push(fp(2), Nanos::ZERO);
+        let batch = b.flush(Nanos::from_micros(1)).expect("flush");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn batch_of_one_when_size_is_one() {
+        let mut b = Batcher::new(1, Nanos::from_secs(1));
+        let batch = b.push(fp(7), Nanos::ZERO).expect("immediate");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.queueing_delay(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn preserves_arrival_order() {
+        let mut b = Batcher::new(4, Nanos::from_secs(1));
+        b.push(fp(1), Nanos::ZERO);
+        b.push(fp(2), Nanos::ZERO);
+        b.push(fp(3), Nanos::ZERO);
+        let batch = b.push(fp(4), Nanos::ZERO).unwrap();
+        assert_eq!(
+            batch.fingerprints,
+            vec![fp(1), fp(2), fp(3), fp(4)]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Networking substrate for the SHHC cluster.
+//!
+//! The paper's cluster nodes talk over 1 GbE; the front-ends "aggregate
+//! fingerprints from clients and send them as a batch to hybrid nodes".
+//! This crate provides the pieces that stand in for that fabric:
+//!
+//! - [`Frame`] + [`encode`]/[`decode`] — a length-prefixed, versioned wire
+//!   format (messages really are serialized to bytes, so per-message and
+//!   per-byte costs are real),
+//! - [`NetModel`] — the link cost model (per-message overhead, RTT,
+//!   bandwidth) used to account virtual network time,
+//! - [`ChannelTransport`] — an in-process duplex byte transport over
+//!   crossbeam channels for the threaded cluster,
+//! - [`Batcher`] — the front-end's fingerprint aggregation with size and
+//!   age limits.
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_net::{decode, encode, Frame};
+//! use shhc_types::{Fingerprint, StreamId};
+//!
+//! let frame = Frame::LookupInsertReq {
+//!     correlation: 7,
+//!     stream: StreamId::new(1),
+//!     fingerprints: vec![Fingerprint::from_u64(42)],
+//! };
+//! let bytes = encode(&frame);
+//! assert_eq!(decode(&bytes).unwrap(), frame);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod model;
+mod transport;
+mod wire;
+
+pub use batch::{Batch, Batcher};
+pub use model::NetModel;
+pub use transport::{duplex, ChannelTransport, TransportStats};
+pub use wire::{decode, encode, encoded_len, lookup_req_len, lookup_resp_len, Frame, WIRE_VERSION};

@@ -1,0 +1,203 @@
+//! In-process duplex byte transport over crossbeam channels.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use shhc_types::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters shared by both ends of a transport pair.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Messages sent through either endpoint.
+    pub messages: AtomicU64,
+    /// Payload bytes sent through either endpoint.
+    pub bytes: AtomicU64,
+}
+
+impl TransportStats {
+    /// Snapshot of (messages, bytes).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One endpoint of an in-process duplex link carrying encoded frames.
+///
+/// Stands in for a TCP connection between a front-end and a hash node:
+/// payloads are opaque [`Bytes`] (already wire-encoded), delivery is
+/// FIFO, and a dropped peer surfaces as [`Error::Unavailable`].
+///
+/// # Examples
+///
+/// ```
+/// use shhc_net::duplex;
+/// use bytes::Bytes;
+///
+/// let (a, b) = duplex();
+/// a.send(Bytes::from_static(b"hello")).unwrap();
+/// assert_eq!(b.recv().unwrap(), Bytes::from_static(b"hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    stats: Arc<TransportStats>,
+}
+
+/// Creates a connected pair of endpoints.
+pub fn duplex() -> (ChannelTransport, ChannelTransport) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    let stats = Arc::new(TransportStats::default());
+    (
+        ChannelTransport {
+            tx: tx_ab,
+            rx: rx_ba,
+            stats: Arc::clone(&stats),
+        },
+        ChannelTransport {
+            tx: tx_ba,
+            rx: rx_ab,
+            stats,
+        },
+    )
+}
+
+impl ChannelTransport {
+    /// Sends one encoded frame.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] if the peer endpoint was dropped.
+    pub fn send(&self, frame: Bytes) -> Result<()> {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.tx
+            .send(frame)
+            .map_err(|_| Error::Unavailable("transport peer disconnected".into()))
+    }
+
+    /// Blocks until a frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] if the peer endpoint was dropped with no
+    /// pending frames.
+    pub fn recv(&self) -> Result<Bytes> {
+        self.rx
+            .recv()
+            .map_err(|_| Error::Unavailable("transport peer disconnected".into()))
+    }
+
+    /// Waits up to `timeout` for a frame; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] if the peer endpoint was dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Unavailable("transport peer disconnected".into()))
+            }
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no frame is queued.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] if the peer endpoint was dropped.
+    pub fn try_recv(&self) -> Result<Option<Bytes>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(Error::Unavailable("transport peer disconnected".into()))
+            }
+        }
+    }
+
+    /// Shared counters for this link.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bidirectional_fifo() {
+        let (a, b) = duplex();
+        for i in 0..10u8 {
+            a.send(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap()[0], i);
+        }
+        b.send(Bytes::from_static(b"reply")).unwrap();
+        assert_eq!(a.recv().unwrap(), Bytes::from_static(b"reply"));
+    }
+
+    #[test]
+    fn disconnect_surfaces_as_unavailable() {
+        let (a, b) = duplex();
+        drop(b);
+        assert!(matches!(
+            a.send(Bytes::from_static(b"x")),
+            Err(Error::Unavailable(_))
+        ));
+        assert!(matches!(a.recv(), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn pending_frames_survive_peer_drop() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"last words")).unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"last words"));
+        assert!(matches!(b.recv(), Err(Error::Unavailable(_))));
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let (a, b) = duplex();
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap(),
+            None
+        );
+        a.send(Bytes::from_static(b"now")).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(Bytes::from_static(b"now")));
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"12345")).unwrap();
+        b.send(Bytes::from_static(b"123")).unwrap();
+        let (msgs, bytes) = a.stats().snapshot();
+        assert_eq!(msgs, 2);
+        assert_eq!(bytes, 8);
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (a, b) = duplex();
+        let handle = std::thread::spawn(move || {
+            let got = b.recv().unwrap();
+            b.send(got).unwrap();
+        });
+        a.send(Bytes::from_static(b"echo")).unwrap();
+        assert_eq!(a.recv().unwrap(), Bytes::from_static(b"echo"));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-operation energy accounting (the paper's future-work item on
+//! "energy efficiency of hash operations").
+
+use shhc_types::Nanos;
+
+use crate::NodeStats;
+use shhc_flash::DeviceStats;
+
+/// Energy cost model for one hybrid node.
+///
+/// Per-operation costs are in nanojoules; idle draw is charged per unit
+/// of busy time. Defaults are order-of-magnitude figures for 2010-era
+/// server DRAM, MLC NAND and a Xeon core — precise constants matter less
+/// than the *relative* economics (flash programs dwarf RAM probes), which
+/// is what the energy bench explores.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_node::{EnergyModel, HybridHashNode, NodeConfig};
+/// use shhc_types::{Fingerprint, NodeId};
+///
+/// # fn main() -> Result<(), shhc_types::Error> {
+/// let mut node = HybridHashNode::new(NodeId::new(0), NodeConfig::small_test())?;
+/// for i in 0..100 {
+///     node.lookup_insert(Fingerprint::from_u64(i))?;
+/// }
+/// let joules = EnergyModel::default().energy(&node.stats(), &node.device_stats());
+/// assert!(joules > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per CPU-side lookup operation (hash, dispatch), nJ.
+    pub cpu_op_nj: f64,
+    /// Energy per RAM probe (cache + bloom), nJ.
+    pub ram_probe_nj: f64,
+    /// Energy per flash page read, nJ.
+    pub flash_read_nj: f64,
+    /// Energy per flash page program, nJ.
+    pub flash_program_nj: f64,
+    /// Energy per flash block erase, nJ.
+    pub flash_erase_nj: f64,
+    /// Idle/overhead power of the node while busy, watts.
+    pub idle_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            cpu_op_nj: 2_000.0,       // ~2 µJ per request's CPU work
+            ram_probe_nj: 100.0,      // DRAM row activate + reads
+            flash_read_nj: 25_000.0,  // 25 µJ page read
+            flash_program_nj: 60_000.0,
+            flash_erase_nj: 150_000.0,
+            idle_watts: 60.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Active (per-operation) energy in joules: CPU + RAM + flash ops,
+    /// excluding the node's idle draw. This is the number that differs
+    /// between workloads.
+    pub fn device_energy(&self, stats: &NodeStats, device: &DeviceStats) -> f64 {
+        let ops = stats.ops() + stats.queries;
+        let nj = self.cpu_op_nj * ops as f64
+            + self.ram_probe_nj * ops as f64
+            + self.flash_read_nj * device.reads as f64
+            + self.flash_program_nj * device.programs as f64
+            + self.flash_erase_nj * device.erases as f64;
+        nj * 1e-9
+    }
+
+    /// Total energy (joules) for the operations recorded in `stats` and
+    /// `device`, including the node's idle draw over its busy time.
+    pub fn energy(&self, stats: &NodeStats, device: &DeviceStats) -> f64 {
+        self.device_energy(stats, device) + self.idle_watts * busy_seconds(stats.busy)
+    }
+
+    /// Energy per lookup operation, joules.
+    pub fn energy_per_op(&self, stats: &NodeStats, device: &DeviceStats) -> f64 {
+        let ops = stats.ops() + stats.queries;
+        if ops == 0 {
+            0.0
+        } else {
+            self.energy(stats, device) / ops as f64
+        }
+    }
+}
+
+fn busy_seconds(busy: Nanos) -> f64 {
+    busy.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HybridHashNode, NodeConfig};
+    use shhc_types::{Fingerprint, NodeId};
+
+    #[test]
+    fn zero_work_zero_energy() {
+        let model = EnergyModel::default();
+        let stats = NodeStats::default();
+        let device = DeviceStats::default();
+        assert_eq!(model.energy(&stats, &device), 0.0);
+        assert_eq!(model.energy_per_op(&stats, &device), 0.0);
+    }
+
+    #[test]
+    fn flash_heavy_workload_costs_more() {
+        let model = EnergyModel::default();
+        let mut cold = HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap();
+        let mut warm = HybridHashNode::new(NodeId::new(1), NodeConfig::small_test()).unwrap();
+        // Cold: 1000 unique fingerprints (flash programs).
+        for i in 0..1000u64 {
+            cold.lookup_insert(Fingerprint::from_u64(i)).unwrap();
+        }
+        // Warm: the same fingerprint 1000 times (RAM hits).
+        for _ in 0..1000 {
+            warm.lookup_insert(Fingerprint::from_u64(0)).unwrap();
+        }
+        let cold_e = model.energy_per_op(&cold.stats(), &cold.device_stats());
+        let warm_e = model.energy_per_op(&warm.stats(), &warm.device_stats());
+        assert!(
+            cold_e > warm_e,
+            "cold {cold_e} should exceed warm {warm_e}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_ops() {
+        let model = EnergyModel::default();
+        let small = NodeStats {
+            inserted: 10,
+            ..NodeStats::default()
+        };
+        let large = NodeStats {
+            inserted: 1000,
+            ..NodeStats::default()
+        };
+        let device = DeviceStats::default();
+        assert!(model.energy(&large, &device) > model.energy(&small, &device));
+    }
+}

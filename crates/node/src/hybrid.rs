@@ -1,0 +1,726 @@
+//! The hybrid node implementation.
+
+use shhc_bloom::BloomFilter;
+use shhc_cache::{Cache, LruCache, SegmentedLruCache, TwoQCache};
+use shhc_flash::{DeviceStats, FlashConfig, FlashStore, FtlStats};
+use shhc_types::{Fingerprint, Nanos, NodeId, Result};
+
+/// Which replacement policy manages the RAM fingerprint cache.
+///
+/// The paper prescribes plain LRU; the alternatives are ablation points
+/// for the cache-policy bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Plain least-recently-used (the paper's design).
+    #[default]
+    Lru,
+    /// Segmented LRU (scan-resistant).
+    Slru,
+    /// 2Q (ghost-list admission).
+    TwoQ,
+}
+
+/// Configuration of one hybrid node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// RAM cache capacity in fingerprint entries.
+    pub cache_capacity: usize,
+    /// RAM cache replacement policy.
+    pub cache_policy: CachePolicy,
+    /// Expected fingerprints on this node (bloom sizing).
+    pub bloom_expected: u64,
+    /// Bloom false-positive rate target.
+    pub bloom_fpr: f64,
+    /// The node's SSD (geometry, latency, bucketing).
+    pub flash: FlashConfig,
+    /// CPU time to parse, hash and dispatch one fingerprint lookup.
+    pub cpu_per_op: Nanos,
+    /// RAM access time for one cache/bloom probe round.
+    pub ram_probe: Nanos,
+}
+
+impl NodeConfig {
+    /// A realistic node: 1 M-entry RAM cache, bloom sized for 16 M
+    /// fingerprints at 1 %, a 512 MiB simulated SSD, 2008-era Xeon-ish
+    /// per-op CPU cost.
+    pub fn default_node() -> Self {
+        NodeConfig {
+            cache_capacity: 1_000_000,
+            cache_policy: CachePolicy::Lru,
+            bloom_expected: 16_000_000,
+            bloom_fpr: 0.01,
+            flash: FlashConfig::default_node(),
+            cpu_per_op: Nanos::from_micros(20),
+            ram_probe: Nanos::new(500),
+        }
+    }
+
+    /// A tiny node for unit tests: 64-entry cache, small flash, zero
+    /// device latency.
+    pub fn small_test() -> Self {
+        NodeConfig {
+            cache_capacity: 64,
+            cache_policy: CachePolicy::Lru,
+            bloom_expected: 10_000,
+            bloom_fpr: 0.01,
+            flash: FlashConfig::small_test(),
+            cpu_per_op: Nanos::from_micros(1),
+            ram_probe: Nanos::new(100),
+        }
+    }
+}
+
+/// Which tier answered a lookup (paper Fig. 4 branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Answered from the RAM cache.
+    RamHit,
+    /// Answered from the SSD table (and promoted to RAM).
+    SsdHit,
+    /// Fingerprint was new; inserted (the "send the data" answer).
+    Inserted,
+}
+
+/// Result of one lookup-insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the chunk already existed somewhere in the node.
+    pub existed: bool,
+    /// Which tier resolved the lookup.
+    pub outcome: LookupOutcome,
+    /// The value stored with the fingerprint (existing value on a hit,
+    /// the newly assigned value on an insert).
+    pub value: u64,
+    /// Virtual time this operation consumed on the node.
+    pub cost: Nanos,
+}
+
+/// Result of a batched lookup-insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Per-fingerprint existence, parallel to the request order.
+    pub exists: Vec<bool>,
+    /// Per-fingerprint stored values, parallel to the request order.
+    pub values: Vec<u64>,
+    /// Total virtual node time consumed by the batch.
+    pub cost: Nanos,
+}
+
+/// Node-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Lookups answered by the RAM cache.
+    pub ram_hits: u64,
+    /// Lookups answered by the SSD table.
+    pub ssd_hits: u64,
+    /// Lookups that inserted a new fingerprint.
+    pub inserted: u64,
+    /// SSD probes avoided because the bloom filter said "absent".
+    pub bloom_skips: u64,
+    /// Bloom said "present" but the SSD probe found nothing.
+    pub bloom_false_positives: u64,
+    /// Read-only queries served.
+    pub queries: u64,
+    /// Total virtual busy time of this node (CPU + RAM + device).
+    pub busy: Nanos,
+}
+
+impl NodeStats {
+    /// Total lookup-insert operations.
+    pub fn ops(&self) -> u64 {
+        self.ram_hits + self.ssd_hits + self.inserted
+    }
+
+    /// Fraction of duplicate detections served from RAM.
+    pub fn ram_hit_ratio(&self) -> f64 {
+        let dups = self.ram_hits + self.ssd_hits;
+        if dups == 0 {
+            0.0
+        } else {
+            self.ram_hits as f64 / dups as f64
+        }
+    }
+}
+
+/// One hybrid RAM+SSD hash node.
+///
+/// See the [crate docs](crate) for the lookup workflow. The node is
+/// single-threaded by design — the cluster layer runs one node per OS
+/// thread (as the paper runs one hash server per machine) or drives nodes
+/// as simulation agents.
+#[derive(Debug)]
+pub struct HybridHashNode {
+    id: NodeId,
+    bloom: BloomFilter,
+    cache: NodeCache,
+    store: FlashStore,
+    config: NodeConfig,
+    stats: NodeStats,
+    next_value: u64,
+}
+
+/// Concrete cache dispatch (enum instead of trait object to keep the node
+/// `Debug` and the dispatch branch-predictable).
+#[derive(Debug)]
+enum NodeCache {
+    Lru(LruCache<Fingerprint, u64>),
+    Slru(SegmentedLruCache<Fingerprint, u64>),
+    TwoQ(TwoQCache<Fingerprint, u64>),
+}
+
+impl NodeCache {
+    fn new(policy: CachePolicy, capacity: usize) -> Self {
+        match policy {
+            CachePolicy::Lru => NodeCache::Lru(LruCache::new(capacity)),
+            CachePolicy::Slru => NodeCache::Slru(SegmentedLruCache::new(capacity.max(2), 0.8)),
+            CachePolicy::TwoQ => NodeCache::TwoQ(TwoQCache::new(capacity.max(4))),
+        }
+    }
+
+    fn get(&mut self, fp: &Fingerprint) -> Option<u64> {
+        match self {
+            NodeCache::Lru(c) => c.get(fp).copied(),
+            NodeCache::Slru(c) => c.get(fp).copied(),
+            NodeCache::TwoQ(c) => c.get(fp).copied(),
+        }
+    }
+
+    fn insert(&mut self, fp: Fingerprint, v: u64) {
+        match self {
+            NodeCache::Lru(c) => {
+                c.insert(fp, v);
+            }
+            NodeCache::Slru(c) => {
+                c.insert(fp, v);
+            }
+            NodeCache::TwoQ(c) => {
+                c.insert(fp, v);
+            }
+        }
+    }
+
+    fn remove(&mut self, fp: &Fingerprint) {
+        match self {
+            NodeCache::Lru(c) => {
+                c.remove(fp);
+            }
+            NodeCache::Slru(c) => {
+                c.remove(fp);
+            }
+            NodeCache::TwoQ(c) => {
+                c.remove(fp);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            NodeCache::Lru(c) => c.len(),
+            NodeCache::Slru(c) => c.len(),
+            NodeCache::TwoQ(c) => c.len(),
+        }
+    }
+
+    fn stats(&self) -> shhc_cache::CacheStats {
+        match self {
+            NodeCache::Lru(c) => c.stats(),
+            NodeCache::Slru(c) => c.stats(),
+            NodeCache::TwoQ(c) => c.stats(),
+        }
+    }
+}
+
+impl HybridHashNode {
+    /// Creates a node with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`shhc_types::Error::InvalidArgument`] from the flash
+    /// store configuration.
+    pub fn new(id: NodeId, config: NodeConfig) -> Result<Self> {
+        let store = FlashStore::new(config.flash)?;
+        Ok(HybridHashNode {
+            id,
+            bloom: BloomFilter::with_rate(config.bloom_expected, config.bloom_fpr),
+            cache: NodeCache::new(config.cache_policy, config.cache_capacity),
+            store,
+            config,
+            stats: NodeStats::default(),
+            next_value: 0,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Node counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// RAM cache counters.
+    pub fn cache_stats(&self) -> shhc_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Flash device counters (for energy accounting).
+    pub fn device_stats(&self) -> DeviceStats {
+        self.store.device_stats()
+    }
+
+    /// FTL counters (GC activity).
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.store.ftl_stats()
+    }
+
+    /// Number of fingerprints stored on this node (live records,
+    /// including the RAM write buffer) — the Figure 6 measurement.
+    pub fn entries(&self) -> u64 {
+        self.store.len()
+    }
+
+    /// Current RAM cache occupancy.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The paper's Figure 4 operation: look up `fp`, inserting it as a
+    /// new chunk when absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors ([`shhc_types::Error::OutOfSpace`] when
+    /// the SSD fills).
+    pub fn lookup_insert(&mut self, fp: Fingerprint) -> Result<LookupResult> {
+        let value = self.next_value;
+        let result = self.lookup_insert_with(fp, value)?;
+        if result.outcome == LookupOutcome::Inserted {
+            self.next_value += 1;
+        }
+        Ok(result)
+    }
+
+    /// [`HybridHashNode::lookup_insert`] with a caller-chosen value to
+    /// associate on insert (e.g. a packed [`shhc_types::ChunkId`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn lookup_insert_with(&mut self, fp: Fingerprint, value: u64) -> Result<LookupResult> {
+        let mut cost = self.config.cpu_per_op + self.config.ram_probe;
+
+        // 1. RAM cache.
+        if let Some(cached) = self.cache.get(&fp) {
+            self.stats.ram_hits += 1;
+            self.charge(cost);
+            return Ok(LookupResult {
+                existed: true,
+                outcome: LookupOutcome::RamHit,
+                value: cached,
+                cost,
+            });
+        }
+
+        // 2. Bloom filter guard in front of the SSD.
+        if !self.bloom.contains(fp.as_bytes()) {
+            self.stats.bloom_skips += 1;
+            let flash_cost = self.charged_store(|s| s.put(fp, value))?;
+            cost += flash_cost;
+            self.bloom.insert(fp.as_bytes());
+            self.cache.insert(fp, value);
+            self.stats.inserted += 1;
+            self.charge(cost);
+            return Ok(LookupResult {
+                existed: false,
+                outcome: LookupOutcome::Inserted,
+                value,
+                cost,
+            });
+        }
+
+        // 3. SSD probe.
+        let (found, flash_cost) = {
+            let before = self.store.busy();
+            let found = self.store.get(fp)?;
+            (found, self.store.busy() - before)
+        };
+        cost += flash_cost;
+        match found {
+            Some(stored) => {
+                self.cache.insert(fp, stored);
+                self.stats.ssd_hits += 1;
+                self.charge(cost);
+                Ok(LookupResult {
+                    existed: true,
+                    outcome: LookupOutcome::SsdHit,
+                    value: stored,
+                    cost,
+                })
+            }
+            None => {
+                // Bloom false positive: the SSD probe was wasted.
+                self.stats.bloom_false_positives += 1;
+                let put_cost = self.charged_store(|s| s.put(fp, value))?;
+                cost += put_cost;
+                self.bloom.insert(fp.as_bytes());
+                self.cache.insert(fp, value);
+                self.stats.inserted += 1;
+                self.charge(cost);
+                Ok(LookupResult {
+                    existed: false,
+                    outcome: LookupOutcome::Inserted,
+                    value,
+                    cost,
+                })
+            }
+        }
+    }
+
+    /// Read-only existence check (no insertion on miss).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn query(&mut self, fp: Fingerprint) -> Result<LookupResult> {
+        self.stats.queries += 1;
+        let mut cost = self.config.cpu_per_op + self.config.ram_probe;
+        if let Some(cached) = self.cache.get(&fp) {
+            self.charge(cost);
+            return Ok(LookupResult {
+                existed: true,
+                outcome: LookupOutcome::RamHit,
+                value: cached,
+                cost,
+            });
+        }
+        if !self.bloom.contains(fp.as_bytes()) {
+            self.charge(cost);
+            return Ok(LookupResult {
+                existed: false,
+                outcome: LookupOutcome::Inserted,
+                value: 0,
+                cost,
+            });
+        }
+        let before = self.store.busy();
+        let found = self.store.get(fp)?;
+        cost += self.store.busy() - before;
+        self.charge(cost);
+        match found {
+            Some(v) => {
+                self.cache.insert(fp, v);
+                Ok(LookupResult {
+                    existed: true,
+                    outcome: LookupOutcome::SsdHit,
+                    value: v,
+                    cost,
+                })
+            }
+            None => Ok(LookupResult {
+                existed: false,
+                outcome: LookupOutcome::Inserted,
+                value: 0,
+                cost,
+            }),
+        }
+    }
+
+    /// Batched [`HybridHashNode::lookup_insert`] — the unit of work a
+    /// front-end ships to a node.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first device error, leaving earlier insertions done.
+    pub fn lookup_insert_batch(&mut self, fps: &[Fingerprint]) -> Result<BatchResult> {
+        let mut exists = Vec::with_capacity(fps.len());
+        let mut values = Vec::with_capacity(fps.len());
+        let mut cost = Nanos::ZERO;
+        for fp in fps {
+            let r = self.lookup_insert(*fp)?;
+            exists.push(r.existed);
+            values.push(r.value);
+            cost += r.cost;
+        }
+        Ok(BatchResult {
+            exists,
+            values,
+            cost,
+        })
+    }
+
+    /// Flushes the SSD write buffer (e.g. at end of a backup window).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn flush(&mut self) -> Result<Nanos> {
+        self.charged_store(|s| s.flush())
+    }
+
+    /// Overwrites the value stored with a fingerprint the node already
+    /// holds (e.g. replacing an insert-time placeholder with the chunk
+    /// location assigned by the storage backend). The RAM cache is
+    /// refreshed too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn record(&mut self, fp: Fingerprint, value: u64) -> Result<Nanos> {
+        let cost = self.charged_store(|s| s.update(fp, value))?;
+        self.cache.insert(fp, value);
+        self.charge(cost);
+        Ok(cost)
+    }
+
+    /// Scans every fingerprint stored on the node (rebalancing support).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn scan(&mut self) -> Result<Vec<(Fingerprint, u64)>> {
+        self.store.scan()
+    }
+
+    /// Removes a fingerprint (rebalancing: entry moved to another node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn remove(&mut self, fp: Fingerprint) -> Result<()> {
+        // The bloom filter cannot unlearn; deletions leave it slightly
+        // pessimistic, which is safe (false positives only). The RAM
+        // cache, however, must evict immediately or a stale entry would
+        // keep answering "exists".
+        self.cache.remove(&fp);
+        self.store.delete(fp)
+    }
+
+    /// Runs `f` against the store, returning the virtual device time it
+    /// consumed.
+    fn charged_store<T>(
+        &mut self,
+        f: impl FnOnce(&mut FlashStore) -> Result<T>,
+    ) -> Result<Nanos> {
+        let before = self.store.busy();
+        f(&mut self.store)?;
+        Ok(self.store.busy() - before)
+    }
+
+    fn charge(&mut self, cost: Nanos) {
+        self.stats.busy += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    fn node() -> HybridHashNode {
+        HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).expect("config")
+    }
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::from_u64(v)
+    }
+
+    #[test]
+    fn new_then_duplicate() {
+        let mut n = node();
+        let first = n.lookup_insert(fp(1)).unwrap();
+        assert!(!first.existed);
+        assert_eq!(first.outcome, LookupOutcome::Inserted);
+        let second = n.lookup_insert(fp(1)).unwrap();
+        assert!(second.existed);
+        assert_eq!(second.outcome, LookupOutcome::RamHit);
+        assert_eq!(n.stats().inserted, 1);
+        assert_eq!(n.stats().ram_hits, 1);
+    }
+
+    #[test]
+    fn ssd_hit_after_cache_eviction() {
+        let mut n = node();
+        let cap = n.config().cache_capacity as u64;
+        n.lookup_insert(fp(0)).unwrap();
+        // Evict fp(0) by inserting more than the cache holds.
+        for i in 1..=cap + 8 {
+            n.lookup_insert(fp(i)).unwrap();
+        }
+        let r = n.lookup_insert(fp(0)).unwrap();
+        assert!(r.existed);
+        assert_eq!(r.outcome, LookupOutcome::SsdHit, "must fall back to SSD");
+        assert!(n.stats().ssd_hits >= 1);
+    }
+
+    #[test]
+    fn bloom_skips_ssd_for_cold_misses() {
+        let mut n = node();
+        for i in 0..100 {
+            n.lookup_insert(fp(i)).unwrap();
+        }
+        // All 100 were first sightings; the bloom filter should have
+        // spared (almost) every one an SSD read.
+        let s = n.stats();
+        assert_eq!(s.inserted, 100);
+        assert!(
+            s.bloom_skips >= 95,
+            "bloom skipped only {} of 100 cold misses",
+            s.bloom_skips
+        );
+    }
+
+    #[test]
+    fn query_does_not_insert() {
+        let mut n = node();
+        let r = n.query(fp(5)).unwrap();
+        assert!(!r.existed);
+        assert_eq!(n.entries(), 0);
+        n.lookup_insert(fp(5)).unwrap();
+        let r = n.query(fp(5)).unwrap();
+        assert!(r.existed);
+        assert_eq!(n.entries(), 1);
+        assert_eq!(n.stats().queries, 2);
+    }
+
+    #[test]
+    fn batch_equals_singles() {
+        let fps: Vec<Fingerprint> = [1u64, 2, 1, 3, 2, 1].iter().map(|v| fp(*v)).collect();
+        let mut a = node();
+        let batch = a.lookup_insert_batch(&fps).unwrap();
+        let mut b = node();
+        let singles: Vec<bool> = fps
+            .iter()
+            .map(|f| b.lookup_insert(*f).unwrap().existed)
+            .collect();
+        assert_eq!(batch.exists, singles);
+        assert_eq!(batch.exists, vec![false, false, true, false, true, true]);
+    }
+
+    #[test]
+    fn costs_reflect_tiers() {
+        // With real latencies, a RAM hit must be much cheaper than an
+        // insert that programs flash pages.
+        let mut config = NodeConfig::small_test();
+        config.flash = FlashConfig::small_test_with_latency();
+        config.cache_capacity = 4;
+        let mut n = HybridHashNode::new(NodeId::new(1), config).unwrap();
+
+        n.lookup_insert(fp(1)).unwrap();
+        let ram = n.lookup_insert(fp(1)).unwrap();
+        assert_eq!(ram.outcome, LookupOutcome::RamHit);
+
+        // Evict fp(1) and flush so the next duplicate is a true SSD hit.
+        for i in 2..10 {
+            n.lookup_insert(fp(i)).unwrap();
+        }
+        n.flush().unwrap();
+        let ssd = n.lookup_insert(fp(1)).unwrap();
+        assert_eq!(ssd.outcome, LookupOutcome::SsdHit);
+        assert!(
+            ssd.cost > ram.cost,
+            "SSD hit ({}) must cost more than RAM hit ({})",
+            ssd.cost,
+            ram.cost
+        );
+        assert!(ssd.cost >= Nanos::from_micros(25), "includes a flash read");
+    }
+
+    #[test]
+    fn entries_counts_live_records() {
+        let mut n = node();
+        for i in 0..50 {
+            n.lookup_insert(fp(i)).unwrap();
+        }
+        for i in 0..50 {
+            n.lookup_insert(fp(i)).unwrap(); // duplicates don't add
+        }
+        assert_eq!(n.entries(), 50);
+    }
+
+    #[test]
+    fn remove_supports_rebalancing() {
+        let mut n = node();
+        n.lookup_insert(fp(9)).unwrap();
+        n.remove(fp(9)).unwrap();
+        assert_eq!(n.entries(), 0);
+        let scan = n.scan().unwrap();
+        assert!(scan.is_empty());
+    }
+
+    #[test]
+    fn remove_evicts_the_ram_cache() {
+        let mut n = node();
+        n.lookup_insert(fp(11)).unwrap();
+        n.remove(fp(11)).unwrap();
+        // A fresh lookup must see the fingerprint as NEW (not a stale
+        // cache hit).
+        let r = n.lookup_insert(fp(11)).unwrap();
+        assert!(!r.existed, "stale RAM cache entry after remove");
+        assert_eq!(n.entries(), 1);
+    }
+
+    #[test]
+    fn scan_returns_all_live() {
+        let mut n = node();
+        for i in 0..30 {
+            n.lookup_insert(fp(i)).unwrap();
+        }
+        n.flush().unwrap();
+        let scan = n.scan().unwrap();
+        assert_eq!(scan.len(), 30);
+    }
+
+    #[test]
+    fn stats_partition_operations() {
+        let mut n = node();
+        for i in 0..200 {
+            n.lookup_insert(fp(i % 40)).unwrap();
+        }
+        let s = n.stats();
+        assert_eq!(s.ops(), 200);
+        assert_eq!(s.inserted, 40);
+        assert_eq!(s.ram_hits + s.ssd_hits, 160);
+        assert!(s.busy > Nanos::ZERO);
+    }
+
+    #[test]
+    fn alternative_cache_policies_work() {
+        for policy in [CachePolicy::Slru, CachePolicy::TwoQ] {
+            let mut config = NodeConfig::small_test();
+            config.cache_policy = policy;
+            let mut n = HybridHashNode::new(NodeId::new(2), config).unwrap();
+            for i in 0..100 {
+                n.lookup_insert(fp(i % 20)).unwrap();
+            }
+            assert_eq!(n.entries(), 20, "{policy:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Existence answers always agree with a reference HashSet,
+        /// regardless of cache evictions, flushes and bloom noise.
+        #[test]
+        fn prop_matches_reference_set(keys in proptest::collection::vec(0u64..200, 1..400),
+                                      flush_every in 1usize..50) {
+            let mut n = node();
+            let mut seen = std::collections::HashSet::new();
+            for (i, k) in keys.iter().enumerate() {
+                let r = n.lookup_insert(fp(*k)).unwrap();
+                prop_assert_eq!(r.existed, seen.contains(k), "key {} at pos {}", k, i);
+                seen.insert(*k);
+                if i % flush_every == 0 {
+                    n.flush().unwrap();
+                }
+            }
+            prop_assert_eq!(n.entries(), seen.len() as u64);
+        }
+    }
+}

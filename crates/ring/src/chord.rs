@@ -1,0 +1,197 @@
+//! Chord-style finger-table routing simulation.
+//!
+//! SHHC deliberately is *not* Chord: the cluster is small, stable and
+//! fully known, so every front-end routes in one hop. This module
+//! quantifies that design choice by simulating how many hops true Chord
+//! routing would take on the same membership.
+
+use shhc_hash::xxh64;
+use shhc_types::NodeId;
+
+/// A simulated Chord overlay: every node knows its successor and `log₂`
+/// fingers, lookups hop greedily toward the key's successor.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_ring::FingerTable;
+/// use shhc_types::NodeId;
+///
+/// let chord = FingerTable::new(16);
+/// let hops = chord.hops(NodeId::new(0), 0xDEAD_BEEF);
+/// assert!(hops <= 16, "hops bounded by ~log2(n) with slack");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FingerTable {
+    /// Sorted node points on the ring: (point, node).
+    points: Vec<(u64, NodeId)>,
+    /// fingers[i][k] = index (into `points`) of successor(points[i] + 2^k).
+    fingers: Vec<Vec<usize>>,
+}
+
+impl FingerTable {
+    /// Builds a Chord overlay of `n` nodes placed by hashing their ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "need at least one node");
+        let mut points: Vec<(u64, NodeId)> = (0..n)
+            .map(|i| {
+                (
+                    xxh64(&i.to_le_bytes(), 0x43_48_4f_52_44), // "CHORD"
+                    NodeId::new(i),
+                )
+            })
+            .collect();
+        points.sort();
+
+        let fingers = (0..points.len())
+            .map(|i| {
+                let base = points[i].0;
+                (0..64)
+                    .map(|k| {
+                        let target = base.wrapping_add(1u64 << k);
+                        Self::successor_index(&points, target)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        FingerTable { points, fingers }
+    }
+
+    fn successor_index(points: &[(u64, NodeId)], key: u64) -> usize {
+        match points.binary_search_by(|(p, _)| p.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == points.len() {
+                    0
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// The node owning `key` (its successor on the ring).
+    pub fn owner(&self, key: u64) -> NodeId {
+        self.points[Self::successor_index(&self.points, key)].1
+    }
+
+    /// Number of member nodes.
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of routing hops from `start` to the owner of `key` using
+    /// greedy finger routing. Zero when `start` already owns the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a member node.
+    pub fn hops(&self, start: NodeId, key: u64) -> usize {
+        let owner_idx = Self::successor_index(&self.points, key);
+        let mut cur = self
+            .points
+            .iter()
+            .position(|(_, n)| *n == start)
+            .expect("start node is a member");
+        let mut hops = 0;
+        // Greedy Chord: jump to the farthest finger that does not pass the
+        // key, then take the final successor hop.
+        while cur != owner_idx {
+            let cur_point = self.points[cur].0;
+            // Distance (clockwise) from cur to key.
+            let dist = key.wrapping_sub(cur_point);
+            let mut next = None;
+            for k in (0..64).rev() {
+                let jump = 1u64 << k;
+                if jump < dist {
+                    let candidate = self.fingers[cur][k];
+                    if candidate != cur {
+                        // Does the candidate stay within (cur, key]?
+                        let cand_dist = self.points[candidate].0.wrapping_sub(cur_point);
+                        if cand_dist <= dist {
+                            next = Some(candidate);
+                            break;
+                        }
+                    }
+                }
+            }
+            let next = next.unwrap_or(owner_idx);
+            cur = next;
+            hops += 1;
+            if hops > self.points.len() {
+                // Routing must terminate within n hops; anything more is a
+                // bug in the finger tables.
+                panic!("chord routing failed to converge");
+            }
+        }
+        hops
+    }
+
+    /// Mean hop count over `samples` uniformly spread keys, starting from
+    /// node 0 — the classic `O(log n)` curve.
+    pub fn mean_hops(&self, samples: u64) -> f64 {
+        let start = self.points[0].1;
+        let total: usize = (0..samples)
+            .map(|i| self.hops(start, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .sum();
+        total as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_node_always_zero_hops() {
+        let chord = FingerTable::new(1);
+        assert_eq!(chord.hops(NodeId::new(0), 123), 0);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_hops_target() {
+        let chord = FingerTable::new(8);
+        for key in [0u64, 42, u64::MAX, 0x8000_0000_0000_0000] {
+            let owner = chord.owner(key);
+            // Hopping from the owner itself costs zero.
+            assert_eq!(chord.hops(owner, key), 0);
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        let small = FingerTable::new(4).mean_hops(2000);
+        let large = FingerTable::new(256).mean_hops(2000);
+        assert!(small < large, "more nodes ⇒ more hops");
+        assert!(
+            large < 12.0,
+            "256 nodes should need ≈log2(256)=8 hops, got {large}"
+        );
+    }
+
+    #[test]
+    fn hops_bounded_by_node_count() {
+        let chord = FingerTable::new(32);
+        for i in 0..500u64 {
+            let key = i.wrapping_mul(0x517c_c1b7_2722_0a95);
+            let h = chord.hops(NodeId::new((i % 32) as u32), key);
+            assert!(h <= 32);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_routing_converges(n in 1u32..64, key: u64, start in 0u32..64) {
+            let chord = FingerTable::new(n);
+            let start = NodeId::new(start % n);
+            // Must not panic (converges within n hops).
+            let _ = chord.hops(start, key);
+        }
+    }
+}

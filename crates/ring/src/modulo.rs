@@ -1,0 +1,71 @@
+//! Modulo partitioning — the naive baseline.
+
+use shhc_types::NodeId;
+
+use crate::Partitioner;
+
+/// Routes `key % n`. Perfectly balanced for uniform keys, but growing the
+/// cluster from `n` to `n+1` remaps a `n/(n+1)` fraction of all keys —
+/// the worst case. Included as the ablation baseline showing why SHHC
+/// wants a ring.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_ring::{ModuloPartition, Partitioner};
+///
+/// let p = ModuloPartition::new(4);
+/// assert_eq!(p.route(7).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuloPartition {
+    nodes: u32,
+}
+
+impl ModuloPartition {
+    /// Creates a modulo partition over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "need at least one node");
+        ModuloPartition { nodes: n }
+    }
+}
+
+impl Partitioner for ModuloPartition {
+    fn route(&self, key: u64) -> NodeId {
+        NodeId::new((key % self.nodes as u64) as u32)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moved_fraction;
+
+    #[test]
+    fn routes_by_remainder() {
+        let p = ModuloPartition::new(3);
+        assert_eq!(p.route(0), NodeId::new(0));
+        assert_eq!(p.route(4), NodeId::new(1));
+        assert_eq!(p.route(5), NodeId::new(2));
+    }
+
+    #[test]
+    fn growth_is_maximally_disruptive() {
+        let before = ModuloPartition::new(4);
+        let after = ModuloPartition::new(5);
+        let keys = (0..50_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let moved = moved_fraction(&before, &after, keys);
+        assert!(
+            moved > 0.7,
+            "modulo growth moved only {moved}; expected ≈0.8"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Equal static ranges — the paper's literal partitioning description.
+
+use shhc_types::NodeId;
+
+use crate::Partitioner;
+
+/// Splits the 64-bit key space into `n` equal contiguous ranges; node `i`
+/// owns `[i·2⁶⁴/n, (i+1)·2⁶⁴/n)`.
+///
+/// This matches the paper's phrasing that each hash node "holds a range of
+/// hash values". With uniformly distributed SHA-1 prefixes the load is as
+/// balanced as consistent hashing, but growing the cluster from `n` to
+/// `n+1` reshuffles almost every boundary — quantified in the
+/// partitioning ablation bench.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_ring::{Partitioner, StaticRangePartition};
+///
+/// let part = StaticRangePartition::new(4);
+/// assert_eq!(part.route(0).index(), 0);
+/// assert_eq!(part.route(u64::MAX).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticRangePartition {
+    nodes: u32,
+}
+
+impl StaticRangePartition {
+    /// Creates a partition over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "need at least one node");
+        StaticRangePartition { nodes: n }
+    }
+
+    /// The half-open key range `[start, end)` owned by `node`; the last
+    /// node's range is closed at `u64::MAX` (inclusive).
+    pub fn range_of(&self, node: NodeId) -> (u64, u64) {
+        let width = (u64::MAX as u128 + 1) / self.nodes as u128;
+        let start = (node.raw() as u128 * width) as u64;
+        let end = if node.raw() + 1 == self.nodes {
+            u64::MAX
+        } else {
+            ((node.raw() as u128 + 1) * width - 1) as u64
+        };
+        (start, end)
+    }
+}
+
+impl Partitioner for StaticRangePartition {
+    fn route(&self, key: u64) -> NodeId {
+        let width = (u64::MAX as u128 + 1) / self.nodes as u128;
+        let idx = (key as u128 / width).min(self.nodes as u128 - 1);
+        NodeId::new(idx as u32)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_distribution;
+    use proptest::prelude::*;
+
+    #[test]
+    fn covers_whole_space() {
+        let p = StaticRangePartition::new(3);
+        assert_eq!(p.route(0), NodeId::new(0));
+        assert_eq!(p.route(u64::MAX / 2), NodeId::new(1));
+        assert_eq!(p.route(u64::MAX), NodeId::new(2));
+    }
+
+    #[test]
+    fn ranges_tile_the_space() {
+        let p = StaticRangePartition::new(4);
+        let mut expected_start = 0u64;
+        for i in 0..4 {
+            let (start, end) = p.range_of(NodeId::new(i));
+            assert_eq!(start, expected_start);
+            assert!(end > start);
+            // Every key in the range routes to the node.
+            assert_eq!(p.route(start), NodeId::new(i));
+            assert_eq!(p.route(end), NodeId::new(i));
+            expected_start = end.wrapping_add(1);
+        }
+        assert_eq!(expected_start, 0, "last range must end at u64::MAX");
+    }
+
+    #[test]
+    fn uniform_keys_balance() {
+        let p = StaticRangePartition::new(4);
+        let keys = (0..40_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let counts = load_distribution(&p, keys);
+        for &c in &counts {
+            let share = c as f64 / 40_000.0;
+            assert!((0.2..0.3).contains(&share), "share {share}");
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let p = StaticRangePartition::new(1);
+        assert_eq!(p.route(0), NodeId::new(0));
+        assert_eq!(p.route(u64::MAX), NodeId::new(0));
+        assert_eq!(p.range_of(NodeId::new(0)), (0, u64::MAX));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_matches_range(n in 1u32..20, key: u64) {
+            let p = StaticRangePartition::new(n);
+            let owner = p.route(key);
+            let (start, end) = p.range_of(owner);
+            prop_assert!(key >= start && key <= end);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Seeded random distributions for workload and service-time modelling.
+//!
+//! Implemented from first principles on top of `rand`'s uniform source so
+//! the workspace needs no `rand_distr` dependency.
+
+use rand::Rng;
+use shhc_types::Nanos;
+
+/// Exponential distribution with the given rate (events per second).
+///
+/// Used for Poisson arrival processes and memoryless service times in the
+/// Figure-1 capacity simulation.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use shhc_sim::dist::Exponential;
+///
+/// let exp = Exponential::new(1000.0); // 1000 events/s ⇒ mean 1 ms
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = exp.sample(&mut rng);
+/// assert!(x.as_secs_f64() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate_per_sec: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution with `rate_per_sec` events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive and finite"
+        );
+        Exponential { rate_per_sec }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Mean inter-event gap.
+    pub fn mean(&self) -> Nanos {
+        Nanos::from_secs_f64(1.0 / self.rate_per_sec)
+    }
+
+    /// Draws one inter-event gap.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Nanos {
+        // Inverse CDF; 1-u avoids ln(0).
+        let u: f64 = rng.gen();
+        Nanos::from_secs_f64(-(1.0 - u).ln() / self.rate_per_sec)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with skew `s` (s = 0 is uniform,
+/// larger is more skewed). Sampling is O(log n) via a precomputed CDF.
+///
+/// Models the hot-fingerprint popularity that makes the paper's RAM cache
+/// effective.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use shhc_sim::dist::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be ≥ 0 and finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Log-normal distribution, parameterized by the underlying normal's
+/// `mu`/`sigma`. Used for duplicate-distance sampling in trace generation
+/// (backup streams show multiplicative locality spread).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use shhc_sim::dist::LogNormal;
+///
+/// let d = LogNormal::from_mean_cv(1000.0, 0.5);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates the distribution matching a target mean and coefficient of
+    /// variation (`cv` = stddev/mean) of the log-normal itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean ≤ 0` or `cv < 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(cv >= 0.0, "cv must be non-negative");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Mean of the log-normal.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one value (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_close() {
+        let exp = Exponential::new(10_000.0); // mean 100 µs
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!(
+            (8.5e-5..1.15e-4).contains(&mean),
+            "sample mean {mean} far from 1e-4"
+        );
+    }
+
+    #[test]
+    fn zipf_rank1_most_popular() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = vec![0u32; 51];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 10);
+        assert_eq!(counts[0], 0, "rank 0 must never be drawn");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 11];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / 100_000.0;
+            assert!((0.08..0.12).contains(&share), "rank {r} share {share}");
+        }
+    }
+
+    #[test]
+    fn lognormal_hits_target_mean() {
+        let d = LogNormal::from_mean_cv(5000.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (4000.0..6000.0).contains(&mean),
+            "sample mean {mean} far from 5000"
+        );
+    }
+
+    #[test]
+    fn lognormal_always_positive() {
+        let d = LogNormal::new(0.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+}

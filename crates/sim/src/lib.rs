@@ -1,0 +1,51 @@
+//! Discrete-event simulation kernel for SHHC capacity studies.
+//!
+//! The paper's Figure 1 comes from a purpose-built simulator: "we
+//! developed a simulator and used it to compare the throughput of a single
+//! hash server to that of a clustered approach". This crate is that
+//! simulator's engine, kept general enough for all our capacity
+//! experiments:
+//!
+//! - [`Simulation`] / [`Agent`] — a deterministic event-driven kernel with
+//!   a virtual nanosecond clock,
+//! - [`FcfsQueue`] — a first-come-first-served multi-server resource for
+//!   queueing-model shortcuts,
+//! - [`dist`] — seeded samplers (exponential, Poisson, Zipf, log-normal),
+//! - [`Histogram`] — log-bucketed latency recording with percentiles.
+//!
+//! # Examples
+//!
+//! A one-agent countdown:
+//!
+//! ```
+//! use shhc_sim::{Agent, AgentId, SimCtx, Simulation};
+//! use shhc_types::Nanos;
+//!
+//! struct Countdown(u32);
+//!
+//! impl Agent<u32> for Countdown {
+//!     fn on_event(&mut self, ctx: &mut SimCtx<'_, u32>, left: u32) {
+//!         if left > 0 {
+//!             ctx.send_self(Nanos::from_micros(10), left - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(7);
+//! let id = sim.add_agent(Box::new(Countdown(3)));
+//! sim.schedule(Nanos::ZERO, id, 3u32);
+//! let end = sim.run();
+//! assert_eq!(end, Nanos::from_micros(30));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+mod kernel;
+mod queueing;
+mod stats;
+
+pub use kernel::{Agent, AgentId, SimCtx, Simulation};
+pub use queueing::FcfsQueue;
+pub use stats::{Histogram, Summary};

@@ -1,0 +1,253 @@
+//! Latency recording and summarization.
+
+use shhc_types::Nanos;
+
+/// Number of logarithmic buckets: covers 1 ns .. ~584 years at ×2 steps.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of durations.
+///
+/// Recording is O(1); percentiles are estimated by linear interpolation
+/// within the winning bucket (≤ 2× relative error, plenty for the
+/// order-of-magnitude comparisons the paper makes).
+///
+/// # Examples
+///
+/// ```
+/// use shhc_sim::Histogram;
+/// use shhc_types::Nanos;
+///
+/// let mut h = Histogram::new();
+/// for i in 1..=100u64 {
+///     h.record(Nanos::from_micros(i));
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 100);
+/// assert!(s.max >= Nanos::from_micros(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: Nanos,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: Nanos::ZERO,
+            min: Nanos::new(u64::MAX),
+            max: Nanos::ZERO,
+        }
+    }
+
+    fn bucket(value: Nanos) -> usize {
+        let ns = value.as_nanos();
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, value: Nanos) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (zero when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by interpolating
+    /// within the containing bucket. Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Interpolate within [2^b, 2^(b+1)).
+                let lo = 1u64 << b;
+                let hi = if b + 1 >= 64 { u64::MAX } else { 1u64 << (b + 1) };
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return Nanos::new(est as u64).max(self.min).min(self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Produces a compact summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            min: if self.count == 0 { Nanos::ZERO } else { self.min },
+            max: self.max,
+        }
+    }
+}
+
+/// Compact latency summary produced by [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Nanos,
+    /// Median estimate.
+    pub p50: Nanos,
+    /// 95th percentile estimate.
+    pub p95: Nanos,
+    /// 99th percentile estimate.
+    pub p99: Nanos,
+    /// Minimum observed.
+    pub min: Nanos,
+    /// Maximum observed.
+    pub max: Nanos,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, Nanos::ZERO);
+        assert_eq!(s.p99, Nanos::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(Nanos::from_micros(10));
+        h.record(Nanos::from_micros(30));
+        assert_eq!(h.mean(), Nanos::from_micros(20));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Nanos::from_micros(i));
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, Nanos::from_micros(1000));
+        assert_eq!(s.min, Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn median_within_bucket_error() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(Nanos::from_micros(100));
+        }
+        let p50 = h.quantile(0.5);
+        // All mass in one bucket; interpolation must stay within 2×.
+        assert!(p50 >= Nanos::from_micros(100) && p50 <= Nanos::from_micros(200));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Nanos::from_micros(1));
+        b.record(Nanos::from_micros(1000));
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, Nanos::from_micros(1));
+        assert_eq!(s.max, Nanos::from_micros(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn bad_quantile_panics() {
+        let h = Histogram::new();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn zero_duration_recordable() {
+        let mut h = Histogram::new();
+        h.record(Nanos::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+    }
+}

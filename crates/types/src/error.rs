@@ -1,0 +1,105 @@
+//! The shared error type for substrate operations.
+
+use std::fmt;
+
+/// Convenience alias for results using the shared [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by SHHC substrate operations.
+///
+/// Individual crates use the variants relevant to them; the type lives here
+/// so cross-crate call chains (node → flash → device) can propagate one
+/// error without conversion boilerplate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An argument was outside the valid range; the message explains which.
+    InvalidArgument(String),
+    /// A device-level constraint was violated (e.g. programming a
+    /// non-erased flash page).
+    DeviceViolation(String),
+    /// The device or store ran out of space.
+    OutOfSpace {
+        /// What filled up (e.g. "flash device", "container store").
+        what: String,
+    },
+    /// A referenced entity (chunk, node, record) does not exist.
+    NotFound(String),
+    /// Data failed an integrity check on read.
+    Corruption(String),
+    /// A node or transport endpoint is not reachable.
+    Unavailable(String),
+    /// An underlying I/O error, stringified to keep the type `Clone`/`Eq`.
+    Io(String),
+    /// Decoding a wire message or stored record failed.
+    Decode(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidArgument`] from anything displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        Error::InvalidArgument(msg.to_string())
+    }
+
+    /// Builds an [`Error::NotFound`] from anything displayable.
+    pub fn not_found(msg: impl fmt::Display) -> Self {
+        Error::NotFound(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::DeviceViolation(m) => write!(f, "device constraint violated: {m}"),
+            Error::OutOfSpace { what } => write!(f, "out of space in {what}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Corruption(m) => write!(f, "data corruption: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::invalid("capacity must be nonzero").to_string(),
+            "invalid argument: capacity must be nonzero"
+        );
+        assert_eq!(
+            Error::OutOfSpace {
+                what: "flash device".into()
+            }
+            .to_string(),
+            "out of space in flash device"
+        );
+        assert_eq!(Error::not_found("chunk-1.2").to_string(), "not found: chunk-1.2");
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::other("boom");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(ref m) if m.contains("boom")));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

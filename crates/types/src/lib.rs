@@ -1,0 +1,32 @@
+//! Shared identifiers, fingerprints and error types for the SHHC
+//! reproduction.
+//!
+//! This crate defines the vocabulary the rest of the workspace speaks:
+//! [`Fingerprint`] (a SHA-1 digest of a chunk), [`ChunkId`], [`NodeId`],
+//! byte-size helpers and the common [`Error`] type used by fallible
+//! substrate operations.
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_types::Fingerprint;
+//!
+//! let fp = Fingerprint::from_bytes([0xab; 20]);
+//! assert_eq!(fp.to_hex().len(), 40);
+//! assert_eq!(fp, "abababababababababababababababababababab".parse().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fingerprint;
+mod ids;
+mod size;
+mod time;
+
+pub use error::{Error, Result};
+pub use fingerprint::{Fingerprint, ParseFingerprintError, FINGERPRINT_LEN};
+pub use ids::{ChunkId, ClientId, NodeId, StreamId};
+pub use size::{ByteSize, GIB, KIB, MIB};
+pub use time::Nanos;

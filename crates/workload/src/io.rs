@@ -1,0 +1,141 @@
+//! Trace file persistence.
+//!
+//! Format: one JSON header line (the [`TraceSpec`] plus a count), then the
+//! raw 20-byte fingerprints back to back. Compact, seekable, and the
+//! header stays human-readable with `head -1`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use shhc_types::{Error, Fingerprint, Result, FINGERPRINT_LEN};
+
+use crate::{Trace, TraceSpec};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    spec: TraceSpec,
+    count: u64,
+}
+
+/// Writes a trace to `path`.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failures.
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header = Header {
+        spec: trace.spec.clone(),
+        count: trace.fingerprints.len() as u64,
+    };
+    let header_json =
+        serde_json::to_string(&header).map_err(|e| Error::Io(e.to_string()))?;
+    writeln!(w, "{header_json}")?;
+    for fp in &trace.fingerprints {
+        w.write_all(fp.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`save_trace`].
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failures, [`Error::Decode`] on a malformed
+/// header, [`Error::Corruption`] when the body is shorter than the header
+/// claims.
+pub fn load_trace(path: &Path) -> Result<Trace> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+
+    let mut header_line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            return Err(Error::Decode("missing trace header line".into()));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        header_line.push(byte[0]);
+        if header_line.len() > 1 << 20 {
+            return Err(Error::Decode("unreasonably long trace header".into()));
+        }
+    }
+    let header: Header = serde_json::from_slice(&header_line)
+        .map_err(|e| Error::Decode(format!("bad trace header: {e}")))?;
+
+    let mut fingerprints = Vec::with_capacity(header.count as usize);
+    let mut buf = [0u8; FINGERPRINT_LEN];
+    for i in 0..header.count {
+        r.read_exact(&mut buf).map_err(|_| {
+            Error::Corruption(format!(
+                "trace body truncated at fingerprint {i} of {}",
+                header.count
+            ))
+        })?;
+        fingerprints.push(Fingerprint::from_bytes(buf));
+    }
+    Ok(Trace {
+        spec: header.spec,
+        fingerprints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSpec;
+
+    fn sample() -> Trace {
+        TraceSpec {
+            name: "io-test".into(),
+            total: 500,
+            redundancy: 0.25,
+            mean_distance: 40.0,
+            distance_cv: 1.0,
+            chunk_size: 4096,
+            seed: 11,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("shhc_trace_roundtrip.trace");
+        let trace = sample();
+        save_trace(&trace, &path).expect("save");
+        let back = load_trace(&path).expect("load");
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("shhc_trace_truncated.trace");
+        let trace = sample();
+        save_trace(&trace, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).expect("truncate");
+        let err = load_trace(&path).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("shhc_trace_noheader.trace");
+        std::fs::write(&path, b"not json at all").expect("write");
+        let err = load_trace(&path).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Interleaving multiple traces into one client stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shhc_types::Fingerprint;
+
+use crate::Trace;
+
+/// Interleaves several traces into a single stream, preserving each
+/// trace's internal order and drawing from traces proportionally to their
+/// remaining length (seeded, reproducible).
+///
+/// This reproduces the evaluation setup "we fed the aforementioned 4
+/// mixed workloads to different sizes of the hybrid hash cluster".
+///
+/// # Examples
+///
+/// ```
+/// use shhc_workload::{mix, presets};
+///
+/// let traces = vec![
+///     presets::web_server().scaled(512).generate(),
+///     presets::home_dir().scaled(512).generate(),
+/// ];
+/// let mixed = mix(&traces, 7);
+/// assert_eq!(mixed.len(), traces[0].len() + traces[1].len());
+/// ```
+pub fn mix(traces: &[Trace], seed: u64) -> Vec<Fingerprint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cursors: Vec<usize> = vec![0; traces.len()];
+    let total: usize = traces.iter().map(Trace::len).sum();
+    let mut out = Vec::with_capacity(total);
+
+    loop {
+        let remaining: Vec<usize> = traces
+            .iter()
+            .zip(&cursors)
+            .map(|(t, &c)| t.len() - c)
+            .collect();
+        let left: usize = remaining.iter().sum();
+        if left == 0 {
+            break;
+        }
+        // Weighted pick proportional to remaining length keeps the mix
+        // ratio steady across the whole stream.
+        let mut pick = rng.gen_range(0..left);
+        let idx = remaining
+            .iter()
+            .position(|&r| {
+                if pick < r {
+                    true
+                } else {
+                    pick -= r;
+                    false
+                }
+            })
+            .expect("left > 0 guarantees a pick");
+        out.push(traces[idx].fingerprints[cursors[idx]]);
+        cursors[idx] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSpec;
+
+    fn tiny(name: &str, total: usize, seed: u64) -> Trace {
+        TraceSpec {
+            name: name.into(),
+            total,
+            redundancy: 0.0,
+            mean_distance: 10.0,
+            distance_cv: 0.5,
+            chunk_size: 4096,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn preserves_per_trace_order() {
+        let a = tiny("a", 500, 1);
+        let b = tiny("b", 300, 2);
+        let mixed = mix(&[a.clone(), b.clone()], 99);
+        assert_eq!(mixed.len(), 800);
+
+        let only_a: Vec<_> = mixed
+            .iter()
+            .filter(|fp| a.fingerprints.contains(fp))
+            .copied()
+            .collect();
+        assert_eq!(only_a, a.fingerprints, "trace A order broken");
+        let only_b: Vec<_> = mixed
+            .iter()
+            .filter(|fp| b.fingerprints.contains(fp))
+            .copied()
+            .collect();
+        assert_eq!(only_b, b.fingerprints, "trace B order broken");
+    }
+
+    #[test]
+    fn deterministic() {
+        let traces = vec![tiny("a", 200, 1), tiny("b", 200, 2)];
+        assert_eq!(mix(&traces, 5), mix(&traces, 5));
+        assert_ne!(mix(&traces, 5), mix(&traces, 6));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mix(&[], 0).is_empty());
+        let empty = tiny("e", 1, 3);
+        let mixed = mix(std::slice::from_ref(&empty), 0);
+        assert_eq!(mixed, empty.fingerprints);
+    }
+
+    #[test]
+    fn interleaving_actually_mixes() {
+        let a = tiny("a", 1000, 1);
+        let b = tiny("b", 1000, 2);
+        let mixed = mix(&[a.clone(), b], 7);
+        // The first 1000 entries should not be exclusively from one trace.
+        let head_a = mixed[..1000]
+            .iter()
+            .filter(|fp| a.fingerprints.contains(fp))
+            .count();
+        assert!((200..800).contains(&head_a), "head is not mixed: {head_a}");
+    }
+}

@@ -1,0 +1,130 @@
+//! The four Table I workloads as trace specs.
+//!
+//! Full-scale parameters copied from the paper:
+//!
+//! | Workload     | Fingerprints | % Redundant | Distance  | Chunk |
+//! |--------------|-------------:|------------:|----------:|------:|
+//! | Web Server   |    2,094,832 |        18 % |    10,781 | 4 KB  |
+//! | Home Dir     |    2,501,186 |        37 % |    26,326 | 4 KB  |
+//! | Mail Server  |   24,122,047 |        85 % |   246,253 | 4 KB  |
+//! | Time machine |   13,146,417 |        17 % | 1,004,899 | 8 KB  |
+//!
+//! Generating the mail-server trace at full scale allocates ≈200 MB of
+//! history; use [`TraceSpec::scaled`] for laptop-friendly runs (the
+//! benches default to 1/16 scale).
+
+use crate::TraceSpec;
+
+/// Seed namespace separating the four workloads' fingerprint populations.
+const SEED_BASE: u64 = 0x5348_4843_5461_6231; // "SHHCTab1"
+
+/// FIU web-server trace stand-in: low redundancy, tight locality.
+pub fn web_server() -> TraceSpec {
+    TraceSpec {
+        name: "Web Server".into(),
+        total: 2_094_832,
+        redundancy: 0.18,
+        mean_distance: 10_781.0,
+        distance_cv: 1.5,
+        chunk_size: 4 * 1024,
+        seed: SEED_BASE,
+    }
+}
+
+/// FIU home-directories trace stand-in: moderate redundancy.
+pub fn home_dir() -> TraceSpec {
+    TraceSpec {
+        name: "Home Dir".into(),
+        total: 2_501_186,
+        redundancy: 0.37,
+        mean_distance: 26_326.0,
+        distance_cv: 1.5,
+        chunk_size: 4 * 1024,
+        seed: SEED_BASE + 1,
+    }
+}
+
+/// FIU mail-server trace stand-in: highly redundant, wide re-reference
+/// window.
+pub fn mail_server() -> TraceSpec {
+    TraceSpec {
+        name: "Mail Server".into(),
+        total: 24_122_047,
+        redundancy: 0.85,
+        mean_distance: 246_253.0,
+        distance_cv: 1.5,
+        chunk_size: 4 * 1024,
+        seed: SEED_BASE + 2,
+    }
+}
+
+/// Six-month OS X Time Machine backup stand-in: low redundancy, very wide
+/// re-reference window (full backups repeat far apart), 8 KB chunks.
+pub fn time_machine() -> TraceSpec {
+    TraceSpec {
+        name: "Time machine".into(),
+        total: 13_146_417,
+        redundancy: 0.17,
+        mean_distance: 1_004_899.0,
+        distance_cv: 1.5,
+        chunk_size: 8 * 1024,
+        seed: SEED_BASE + 3,
+    }
+}
+
+/// All four Table I workloads, in the paper's order.
+pub fn all() -> Vec<TraceSpec> {
+    vec![web_server(), home_dir(), mail_server(), time_machine()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize;
+
+    #[test]
+    fn paper_parameters_exact() {
+        let ws = web_server();
+        assert_eq!(ws.total, 2_094_832);
+        assert!((ws.redundancy - 0.18).abs() < 1e-9);
+        let ms = mail_server();
+        assert_eq!(ms.total, 24_122_047);
+        assert_eq!(ms.chunk_size, 4096);
+        let tm = time_machine();
+        assert_eq!(tm.chunk_size, 8192);
+        assert!((tm.mean_distance - 1_004_899.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = all().iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn scaled_presets_match_targets() {
+        // 1/64 scale keeps this test fast while leaving enough stream for
+        // the statistics to converge.
+        for spec in all() {
+            let scaled = spec.clone().scaled(64);
+            let trace = scaled.generate();
+            let stats = characterize(&trace.fingerprints);
+            assert!(
+                (stats.redundant_fraction - spec.redundancy).abs() < 0.06,
+                "{}: measured redundancy {} vs target {}",
+                spec.name,
+                stats.redundant_fraction,
+                spec.redundancy
+            );
+        }
+    }
+
+    #[test]
+    fn populations_are_disjoint() {
+        let a = web_server().scaled(512).generate();
+        let b = home_dir().scaled(512).generate();
+        let set: std::collections::HashSet<_> = a.fingerprints.iter().collect();
+        let overlap = b.fingerprints.iter().filter(|fp| set.contains(fp)).count();
+        assert_eq!(overlap, 0, "different workloads share fingerprints");
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace root helper crate for the SHHC reproduction.
