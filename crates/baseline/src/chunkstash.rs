@@ -65,11 +65,7 @@ impl ChunkStashIndex {
     ///
     /// Never fails in practice; propagates config validation.
     pub fn small_test() -> Result<Self> {
-        Self::new(
-            20_000,
-            FlashConfig::small_test(),
-            Nanos::from_micros(1),
-        )
+        Self::new(20_000, FlashConfig::small_test(), Nanos::from_micros(1))
     }
 
     /// Paper-scale configuration (default flash latency, 20 µs CPU/op).

@@ -87,13 +87,7 @@ impl DdfsIndex {
 
     /// Tiny test configuration.
     pub fn small_test() -> Self {
-        Self::new(
-            10_000,
-            32,
-            4,
-            Nanos::from_millis(8),
-            Nanos::from_micros(1),
-        )
+        Self::new(10_000, 32, 4, Nanos::from_millis(8), Nanos::from_micros(1))
     }
 
     /// Paper-scale configuration: 1024-fingerprint containers, 1024
@@ -141,8 +135,7 @@ impl FingerprintIndex for DdfsIndex {
             let v = self.next_value;
             self.next_value += 1;
             self.table.insert(fp, (container, v));
-            self.containers[container as usize]
-                .push(fp);
+            self.containers[container as usize].push(fp);
             self.resident.insert(fp, v); // newly written containers stay hot
             if self.containers[container as usize].len() >= self.container_capacity {
                 self.containers.push(Vec::new());

@@ -60,11 +60,7 @@ impl HddIndex {
 
     /// Paper-scale: 1 M-entry RAM cache, 8 ms seek, 20 µs CPU.
     pub fn default_index() -> Self {
-        Self::new(
-            1_000_000,
-            Nanos::from_millis(8),
-            Nanos::from_micros(20),
-        )
+        Self::new(1_000_000, Nanos::from_millis(8), Nanos::from_micros(20))
     }
 }
 

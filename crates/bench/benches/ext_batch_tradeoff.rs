@@ -31,8 +31,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut best: Option<(usize, f64)> = None;
     for batch in [1usize, 8, 32, 128, 512, 2048, 8192] {
-        let mut sim =
-            SimCluster::new(SimClusterConfig::paper_scale(4, batch)).expect("config");
+        let mut sim = SimCluster::new(SimClusterConfig::paper_scale(4, batch)).expect("config");
         let report = sim.run(&clients).expect("run");
         let tput = report.throughput();
         let lat = report.batch_latency;

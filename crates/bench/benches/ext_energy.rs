@@ -30,8 +30,8 @@ fn main() {
             "nodes", "total (J)", "active µJ/op", "w/ idle µJ/op", "flash ops"
         );
         for nodes in [1u32, 2, 4] {
-            let mut sim = SimCluster::new(SimClusterConfig::paper_scale(nodes, 128))
-                .expect("config");
+            let mut sim =
+                SimCluster::new(SimClusterConfig::paper_scale(nodes, 128)).expect("config");
             let report = sim
                 .run(std::slice::from_ref(&trace.fingerprints))
                 .expect("run");

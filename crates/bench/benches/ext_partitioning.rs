@@ -30,7 +30,10 @@ fn main() {
         .map(|s| s.scaled(scale).generate())
         .collect();
     let keys: Vec<u64> = mix(&traces, 7).iter().map(|fp| fp.route_key()).collect();
-    println!("routing {} real fingerprint keys over 4 nodes\n", keys.len());
+    println!(
+        "routing {} real fingerprint keys over 4 nodes\n",
+        keys.len()
+    );
 
     let mut rows = Vec::new();
     println!(
@@ -53,7 +56,11 @@ fn main() {
     let static5 = StaticRangePartition::new(5);
     let cov = coefficient_of_variation(&load_distribution(&static4, keys.iter().copied()));
     let moved = moved_fraction(&static4, &static5, keys.iter().copied());
-    println!("{:<22} {cov:>12.3} {:>17.1}%", "static ranges", moved * 100.0);
+    println!(
+        "{:<22} {cov:>12.3} {:>17.1}%",
+        "static ranges",
+        moved * 100.0
+    );
     rows.push(format!("static ranges,{cov:.4},{moved:.4}"));
 
     let mod4 = ModuloPartition::new(4);

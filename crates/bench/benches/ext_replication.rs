@@ -38,10 +38,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     for replication in [1usize, 2, 3] {
-        let cluster = ShhcCluster::spawn(
-            ClusterConfig::new(4, node_config()).with_replication(replication),
-        )
-        .expect("spawn");
+        let cluster =
+            ShhcCluster::spawn(ClusterConfig::new(4, node_config()).with_replication(replication))
+                .expect("spawn");
 
         let start = Instant::now();
         for window in fps.chunks(256) {

@@ -19,8 +19,7 @@ fn main() {
     let total = fig1_requests();
     let node_counts = [1u32, 2, 4, 8, 16];
     let rates: Vec<f64> = [
-        2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 60_000.0, 80_000.0,
-        100_000.0,
+        2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0,
     ]
     .to_vec();
     let base = MotivationConfig {
@@ -50,10 +49,7 @@ fn main() {
                 .find(|p| p.nodes == nodes && p.rate_per_sec == rate)
                 .expect("swept point");
             print!(" {:>12.0}", p.execution_time.as_micros_f64());
-            rows.push(format!(
-                "{nodes},{rate},{}",
-                p.execution_time.as_micros()
-            ));
+            rows.push(format!("{nodes},{rate},{}", p.execution_time.as_micros()));
         }
         println!();
     }
@@ -70,8 +66,13 @@ fn main() {
     let low_spread = (at(16, 2_000.0) - at(1, 2_000.0)).abs() / at(1, 2_000.0);
     let high_gain = at(1, 100_000.0) / at(16, 100_000.0);
     println!("\nchecks:");
-    println!("  low-rate curves coincide: spread {:.1}% (expect ≈0)", low_spread * 100.0);
-    println!("  100k req/s speedup 1→16 nodes: {high_gain:.1}x (expect ≫1, saturating at rate-bound)");
+    println!(
+        "  low-rate curves coincide: spread {:.1}% (expect ≈0)",
+        low_spread * 100.0
+    );
+    println!(
+        "  100k req/s speedup 1→16 nodes: {high_gain:.1}x (expect ≫1, saturating at rate-bound)"
+    );
 
     write_csv("fig1", "nodes,rate_per_sec,execution_time_us", &rows);
 }

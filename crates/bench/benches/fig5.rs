@@ -45,8 +45,8 @@ fn main() {
     for (ni, &nodes) in node_counts.iter().enumerate() {
         print!("{nodes:>6}");
         for (bi, &batch) in batch_sizes.iter().enumerate() {
-            let mut sim = SimCluster::new(SimClusterConfig::paper_scale(nodes, batch))
-                .expect("config");
+            let mut sim =
+                SimCluster::new(SimClusterConfig::paper_scale(nodes, batch)).expect("config");
             let report = sim.run(&clients).expect("run");
             let tput = report.throughput();
             matrix[ni][bi] = tput;
@@ -66,7 +66,9 @@ fn main() {
     let batch_advantage_4 = matrix[3][1] / matrix[3][0];
     let large_batch_close = matrix[3][2] / matrix[3][1];
     println!("  batch=128 scaling 1→4 nodes:     {gain_batched:.2}x (paper: ~2.5-3x)");
-    println!("  batch advantage at 1 node:       {batch_advantage_1:.1}x (paper: ~1 order of magnitude)");
+    println!(
+        "  batch advantage at 1 node:       {batch_advantage_1:.1}x (paper: ~1 order of magnitude)"
+    );
     println!("  batch advantage at 4 nodes:      {batch_advantage_4:.1}x");
     println!("  batch 2048 vs 128 at 4 nodes:    {large_batch_close:.2}x (paper: similar, ≈1x)");
 

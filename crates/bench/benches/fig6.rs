@@ -23,8 +23,7 @@ fn main() {
     let half = stream.len() / 2;
     let clients = vec![stream[..half].to_vec(), stream[half..].to_vec()];
 
-    let mut sim =
-        SimCluster::new(SimClusterConfig::paper_scale(4, 128)).expect("config");
+    let mut sim = SimCluster::new(SimClusterConfig::paper_scale(4, 128)).expect("config");
     let report = sim.run(&clients).expect("run");
 
     let total: u64 = report.per_node_entries.iter().sum();
@@ -37,7 +36,11 @@ fn main() {
         .enumerate()
     {
         let bar = "█".repeat((share * 120.0).round() as usize);
-        println!("node-{i}: {:>10} entries  {:>5.1}%  {bar}", entries, share * 100.0);
+        println!(
+            "node-{i}: {:>10} entries  {:>5.1}%  {bar}",
+            entries,
+            share * 100.0
+        );
         rows.push(format!("{i},{entries},{:.4}", share));
     }
 
@@ -45,7 +48,11 @@ fn main() {
     let max = shares.iter().cloned().fold(0.0, f64::max);
     let min = shares.iter().cloned().fold(1.0, f64::min);
     println!("\nchecks:");
-    println!("  share range: {:.1}% – {:.1}% (paper: all ≈25%)", min * 100.0, max * 100.0);
+    println!(
+        "  share range: {:.1}% – {:.1}% (paper: all ≈25%)",
+        min * 100.0,
+        max * 100.0
+    );
     println!("  max/min imbalance: {:.2}x", max / min.max(1e-12));
 
     write_csv("fig6", "node,entries,share", &rows);

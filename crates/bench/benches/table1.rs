@@ -19,14 +19,7 @@ fn main() {
 
     println!(
         "{:<14} {:>12} {:>12} {:>8} {:>8} {:>12} {:>12} {:>7}",
-        "workload",
-        "fps(target)",
-        "fps(meas)",
-        "red%(t)",
-        "red%(m)",
-        "dist(t)",
-        "dist(m)",
-        "chunk"
+        "workload", "fps(target)", "fps(meas)", "red%(t)", "red%(m)", "dist(t)", "dist(m)", "chunk"
     );
 
     let mut rows = Vec::new();

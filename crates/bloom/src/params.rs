@@ -91,10 +91,7 @@ mod tests {
     fn predicted_fpr_at_capacity_matches_target() {
         let p = BloomParams::optimal(100_000, 0.01);
         let fpr = p.expected_fpr(100_000);
-        assert!(
-            (0.005..0.02).contains(&fpr),
-            "fpr at design capacity {fpr}"
-        );
+        assert!((0.005..0.02).contains(&fpr), "fpr at design capacity {fpr}");
     }
 
     #[test]

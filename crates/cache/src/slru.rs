@@ -176,7 +176,10 @@ mod tests {
         c.insert(10, ());
         c.insert(11, ());
         c.get(&10); // promote 10 → protected overflow demotes 2
-        assert!(c.peek(&2), "demoted entry must remain cached (in probation)");
+        assert!(
+            c.peek(&2),
+            "demoted entry must remain cached (in probation)"
+        );
         assert_eq!(c.protected_len(), 2);
     }
 

@@ -41,7 +41,10 @@ pub struct FileEntry {
 impl Snapshot {
     /// Total logical bytes across all files.
     pub fn logical_bytes(&self) -> u64 {
-        self.files.values().map(|f| f.manifest.logical_bytes()).sum()
+        self.files
+            .values()
+            .map(|f| f.manifest.logical_bytes())
+            .sum()
     }
 }
 

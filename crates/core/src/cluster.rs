@@ -259,10 +259,7 @@ impl ShhcCluster {
     /// # Errors
     ///
     /// Same as [`ShhcCluster::lookup_insert_batch`].
-    pub fn lookup_insert_batch_values(
-        &self,
-        fps: &[Fingerprint],
-    ) -> Result<(Vec<bool>, Vec<u64>)> {
+    pub fn lookup_insert_batch_values(&self, fps: &[Fingerprint]) -> Result<(Vec<bool>, Vec<u64>)> {
         let mut exists = vec![false; fps.len()];
         let mut values = vec![0u64; fps.len()];
         for (replicas, (positions, group)) in self.group_by_replicas(fps) {
@@ -305,9 +302,7 @@ impl ShhcCluster {
                         }
                     }
                     Ok(other) => {
-                        last_err = Some(Error::Decode(format!(
-                            "unexpected reply {other:?}"
-                        )));
+                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")));
                     }
                     Err(e) => last_err = Some(e),
                 }
@@ -363,8 +358,9 @@ impl ShhcCluster {
                 }
             }
             if !answered {
-                return Err(last_err
-                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                return Err(
+                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
+                );
             }
         }
         Ok(exists)
@@ -397,8 +393,9 @@ impl ShhcCluster {
                 }
             }
             if !any_ok {
-                return Err(last_err
-                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                return Err(
+                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
+                );
             }
         }
         Ok(())
@@ -432,8 +429,9 @@ impl ShhcCluster {
                 }
             }
             if !any_ok {
-                return Err(last_err
-                    .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                return Err(
+                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
+                );
             }
         }
         Ok(())
@@ -666,9 +664,9 @@ fn scatter(
     for (&pos, &e) in positions.iter().zip(exists.iter()) {
         out_exists[pos] = e;
         if e {
-            out_values[pos] = *value_iter.next().ok_or_else(|| {
-                Error::Decode("reply carries fewer values than hits".into())
-            })?;
+            out_values[pos] = *value_iter
+                .next()
+                .ok_or_else(|| Error::Decode("reply carries fewer values than hits".into()))?;
         }
     }
     Ok(())
@@ -744,8 +742,7 @@ mod tests {
 
     #[test]
     fn replication_survives_a_crash() {
-        let cluster =
-            ShhcCluster::spawn(ClusterConfig::small_test(3).with_replication(2)).unwrap();
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(3).with_replication(2)).unwrap();
         let batch = fps(0..100);
         cluster.lookup_insert_batch(&batch).unwrap();
         cluster.kill_node(NodeId::new(0)).unwrap();

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use rand::Rng;
 use shhc_sim::dist::Exponential;
-use shhc_sim::{Agent, Simulation, SimCtx};
+use shhc_sim::{Agent, SimCtx, Simulation};
 use shhc_types::Nanos;
 
 /// Parameters of one Figure-1 simulation run.
@@ -154,11 +154,7 @@ pub struct MotivationPoint {
 }
 
 /// Sweeps offered rates × cluster sizes (the full Figure 1 grid).
-pub fn sweep(
-    node_counts: &[u32],
-    rates: &[f64],
-    base: MotivationConfig,
-) -> Vec<MotivationPoint> {
+pub fn sweep(node_counts: &[u32], rates: &[f64], base: MotivationConfig) -> Vec<MotivationPoint> {
     let mut out = Vec::with_capacity(node_counts.len() * rates.len());
     for &nodes in node_counts {
         for &rate in rates {
@@ -207,10 +203,7 @@ mod tests {
         // bottleneck: ≈ total × 32 µs = 0.64 s. Four nodes cut it ~4×.
         let t1 = execution_time(cfg(1, 100_000.0));
         let t4 = execution_time(cfg(4, 100_000.0));
-        assert!(
-            t1.as_secs_f64() > 0.5,
-            "single node must saturate: {t1}"
-        );
+        assert!(t1.as_secs_f64() > 0.5, "single node must saturate: {t1}");
         assert!(
             t1.as_secs_f64() / t4.as_secs_f64() > 2.0,
             "4 nodes should be ≳2× faster: {t1} vs {t4}"

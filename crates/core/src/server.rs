@@ -50,10 +50,7 @@ pub(crate) enum ControlReply {
 #[derive(Debug)]
 pub(crate) enum NodeRequest {
     /// Wire-encoded data-plane frame plus the reply channel.
-    Data {
-        frame: Bytes,
-        reply: Sender<Bytes>,
-    },
+    Data { frame: Bytes, reply: Sender<Bytes> },
     /// Typed control-plane command plus the reply channel.
     Control {
         msg: ControlMsg,

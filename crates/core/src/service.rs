@@ -216,7 +216,10 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
     /// Propagates storage and cluster failures. Deleting the same
     /// manifest twice releases references twice — callers own manifest
     /// lifecycle.
-    pub fn delete_backup(&mut self, manifest: &shhc_storage::BackupManifest) -> Result<DeleteReport> {
+    pub fn delete_backup(
+        &mut self,
+        manifest: &shhc_storage::BackupManifest,
+    ) -> Result<DeleteReport> {
         // A manifest may reference one chunk many times, but it only held
         // one storage reference per distinct chunk (duplicates within the
         // backup used add_ref at backup time, so each occurrence does own
@@ -259,10 +262,10 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
 mod tests {
     use super::*;
     use crate::ClusterConfig;
-    use shhc_chunking::FixedChunker;
-    use shhc_storage::MemChunkStore;
     use rand::rngs::StdRng;
     use rand::{RngCore, SeedableRng};
+    use shhc_chunking::FixedChunker;
+    use shhc_storage::MemChunkStore;
 
     fn service(nodes: u32) -> BackupService<FixedChunker, MemChunkStore> {
         let cluster = ShhcCluster::spawn(ClusterConfig::small_test(nodes)).unwrap();

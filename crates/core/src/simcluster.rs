@@ -233,8 +233,7 @@ impl SimCluster {
             chunks += batch.len() as u64;
 
             // Split by owning node, preserving order within sub-batches.
-            let mut per_node: Vec<Vec<Fingerprint>> =
-                vec![Vec::new(); self.config.nodes as usize];
+            let mut per_node: Vec<Vec<Fingerprint>> = vec![Vec::new(); self.config.nodes as usize];
             for fp in &batch {
                 per_node[self.ring.route_fingerprint(*fp).index()].push(*fp);
             }
@@ -320,20 +319,31 @@ mod tests {
         let mut t = Vec::new();
         for nodes in [1u32, 2, 4] {
             let mut sim = SimCluster::new(paper_small(nodes, 128)).unwrap();
-            let report = sim
-                .run(&[stream.clone(), unique_stream(4000, 2)])
-                .unwrap();
+            let report = sim.run(&[stream.clone(), unique_stream(4000, 2)]).unwrap();
             t.push(report.throughput());
         }
-        assert!(t[1] > t[0] * 1.3, "2 nodes {:.0} vs 1 node {:.0}", t[1], t[0]);
-        assert!(t[2] > t[1] * 1.2, "4 nodes {:.0} vs 2 nodes {:.0}", t[2], t[1]);
+        assert!(
+            t[1] > t[0] * 1.3,
+            "2 nodes {:.0} vs 1 node {:.0}",
+            t[1],
+            t[0]
+        );
+        assert!(
+            t[2] > t[1] * 1.2,
+            "4 nodes {:.0} vs 2 nodes {:.0}",
+            t[2],
+            t[1]
+        );
     }
 
     #[test]
     fn batching_beats_single_requests() {
         let stream = unique_stream(2000, 3);
         let mut sim1 = SimCluster::new(paper_small(2, 1)).unwrap();
-        let single = sim1.run(std::slice::from_ref(&stream)).unwrap().throughput();
+        let single = sim1
+            .run(std::slice::from_ref(&stream))
+            .unwrap()
+            .throughput();
         let mut sim128 = SimCluster::new(paper_small(2, 128)).unwrap();
         let batched = sim128.run(&[stream]).unwrap().throughput();
         assert!(

@@ -180,9 +180,7 @@ impl FlashDevice {
     pub fn read_page(&mut self, ppa: u64) -> Result<(&[u8], Nanos)> {
         let idx = self.check_ppa(ppa)?;
         if self.states[idx] != PageState::Programmed {
-            return Err(Error::DeviceViolation(format!(
-                "read of erased page {ppa}"
-            )));
+            return Err(Error::DeviceViolation(format!("read of erased page {ppa}")));
         }
         self.stats.reads += 1;
         self.stats.busy += self.latency.read;

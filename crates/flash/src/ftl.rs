@@ -90,9 +90,7 @@ impl Ftl {
     /// `(0, 1)` or leaves fewer than two spare blocks.
     pub fn new(device: FlashDevice, overprovision: f64) -> Result<Self> {
         if !(0.0..1.0).contains(&overprovision) || overprovision <= 0.0 {
-            return Err(Error::invalid(
-                "overprovision fraction must be in (0, 1)",
-            ));
+            return Err(Error::invalid("overprovision fraction must be in (0, 1)"));
         }
         let geo = device.geometry();
         let total = geo.total_pages();
@@ -312,12 +310,12 @@ impl Ftl {
                     if self.block_state[self.open_block as usize] == BlockState::Open {
                         self.block_state[self.open_block as usize] = BlockState::Closed;
                     }
-                    let next =
-                        self.free_blocks
-                            .pop_front()
-                            .ok_or_else(|| Error::OutOfSpace {
-                                what: "flash device (GC starved of blocks)".into(),
-                            })?;
+                    let next = self
+                        .free_blocks
+                        .pop_front()
+                        .ok_or_else(|| Error::OutOfSpace {
+                            what: "flash device (GC starved of blocks)".into(),
+                        })?;
                     self.block_state[next as usize] = BlockState::Open;
                     self.open_block = next;
                     self.write_ptr = 0;
@@ -380,10 +378,7 @@ mod tests {
     fn out_of_range_lpa_rejected() {
         let mut f = ftl(4, 8);
         let lp = f.logical_pages();
-        assert!(matches!(
-            f.write(lp, b"x"),
-            Err(Error::InvalidArgument(_))
-        ));
+        assert!(matches!(f.write(lp, b"x"), Err(Error::InvalidArgument(_))));
     }
 
     #[test]
@@ -524,7 +519,11 @@ mod audit_tests {
                 }
             }
             for (b, &count) in recount.iter().enumerate() {
-                assert_eq!(count, self.valid_count[b], "valid_count drift block {b} state {:?}", self.block_state[b]);
+                assert_eq!(
+                    count, self.valid_count[b],
+                    "valid_count drift block {b} state {:?}",
+                    self.block_state[b]
+                );
                 if self.block_state[b] == BlockState::Free {
                     assert_eq!(count, 0, "free block {b} has valid pages");
                 }
@@ -535,8 +534,16 @@ mod audit_tests {
                 let is_free_state = self.block_state[b as usize] == BlockState::Free;
                 assert_eq!(in_free, is_free_state, "free list/state mismatch block {b}");
             }
-            assert_eq!(self.block_state[self.open_block as usize], BlockState::Open, "open block state");
-            let open_count = self.block_state.iter().filter(|s| **s == BlockState::Open).count();
+            assert_eq!(
+                self.block_state[self.open_block as usize],
+                BlockState::Open,
+                "open block state"
+            );
+            let open_count = self
+                .block_state
+                .iter()
+                .filter(|s| **s == BlockState::Open)
+                .count();
             assert_eq!(open_count, 1, "exactly one open block");
         }
     }

@@ -304,9 +304,7 @@ impl FlashStore {
                 if count {
                     match value {
                         Some(_) => self.stats.live_records += 1,
-                        None => {
-                            self.stats.live_records = self.stats.live_records.saturating_sub(1)
-                        }
+                        None => self.stats.live_records = self.stats.live_records.saturating_sub(1),
                     }
                 }
             }

@@ -91,7 +91,13 @@ impl AsRef<[u8]> for Digest {
     }
 }
 
-const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 impl Sha1 {
     /// Creates a fresh hasher.

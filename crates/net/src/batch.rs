@@ -195,9 +195,6 @@ mod tests {
         b.push(fp(2), Nanos::ZERO);
         b.push(fp(3), Nanos::ZERO);
         let batch = b.push(fp(4), Nanos::ZERO).unwrap();
-        assert_eq!(
-            batch.fingerprints,
-            vec![fp(1), fp(2), fp(3), fp(4)]
-        );
+        assert_eq!(batch.fingerprints, vec![fp(1), fp(2), fp(3), fp(4)]);
     }
 }

@@ -76,7 +76,9 @@ impl ChannelTransport {
     /// [`Error::Unavailable`] if the peer endpoint was dropped.
     pub fn send(&self, frame: Bytes) -> Result<()> {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.tx
             .send(frame)
             .map_err(|_| Error::Unavailable("transport peer disconnected".into()))
@@ -171,10 +173,7 @@ mod tests {
     fn try_recv_and_timeout() {
         let (a, b) = duplex();
         assert_eq!(b.try_recv().unwrap(), None);
-        assert_eq!(
-            b.recv_timeout(Duration::from_millis(10)).unwrap(),
-            None
-        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
         a.send(Bytes::from_static(b"now")).unwrap();
         assert_eq!(b.try_recv().unwrap(), Some(Bytes::from_static(b"now")));
     }

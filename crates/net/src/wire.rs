@@ -415,12 +415,18 @@ mod tests {
             },
             Frame::RecordReq {
                 correlation: 6,
-                pairs: vec![(Fingerprint::from_u64(1), 11), (Fingerprint::from_u64(2), 22)],
+                pairs: vec![
+                    (Fingerprint::from_u64(1), 11),
+                    (Fingerprint::from_u64(2), 22),
+                ],
             },
             Frame::Ack { correlation: 7 },
             Frame::Ping { correlation: 4 },
             Frame::Pong { correlation: 5 },
-            Frame::Error { correlation: 8, message: "out of space in flash device".into() },
+            Frame::Error {
+                correlation: 8,
+                message: "out of space in flash device".into(),
+            },
             Frame::RemoveReq {
                 correlation: 9,
                 fingerprints: (5..9).map(Fingerprint::from_u64).collect(),

@@ -49,9 +49,9 @@ pub struct EnergyModel {
 impl Default for EnergyModel {
     fn default() -> Self {
         EnergyModel {
-            cpu_op_nj: 2_000.0,       // ~2 µJ per request's CPU work
-            ram_probe_nj: 100.0,      // DRAM row activate + reads
-            flash_read_nj: 25_000.0,  // 25 µJ page read
+            cpu_op_nj: 2_000.0,      // ~2 µJ per request's CPU work
+            ram_probe_nj: 100.0,     // DRAM row activate + reads
+            flash_read_nj: 25_000.0, // 25 µJ page read
             flash_program_nj: 60_000.0,
             flash_erase_nj: 150_000.0,
             idle_watts: 60.0,
@@ -124,10 +124,7 @@ mod tests {
         }
         let cold_e = model.energy_per_op(&cold.stats(), &cold.device_stats());
         let warm_e = model.energy_per_op(&warm.stats(), &warm.device_stats());
-        assert!(
-            cold_e > warm_e,
-            "cold {cold_e} should exceed warm {warm_e}"
-        );
+        assert!(cold_e > warm_e, "cold {cold_e} should exceed warm {warm_e}");
     }
 
     #[test]

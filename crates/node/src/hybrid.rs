@@ -504,10 +504,7 @@ impl HybridHashNode {
 
     /// Runs `f` against the store, returning the virtual device time it
     /// consumed.
-    fn charged_store<T>(
-        &mut self,
-        f: impl FnOnce(&mut FlashStore) -> Result<T>,
-    ) -> Result<Nanos> {
+    fn charged_store<T>(&mut self, f: impl FnOnce(&mut FlashStore) -> Result<T>) -> Result<Nanos> {
         let before = self.store.busy();
         f(&mut self.store)?;
         Ok(self.store.busy() - before)

@@ -153,12 +153,7 @@ impl<M> Simulation<M> {
         assert!(dst.0 < self.agents.len(), "unknown agent {dst}");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            dst,
-            msg,
-        }));
+        self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
     }
 
     /// Current virtual time.

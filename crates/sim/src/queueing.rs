@@ -99,8 +99,7 @@ impl FcfsQueue {
         if horizon == Nanos::ZERO {
             return 0.0;
         }
-        self.busy_total.as_nanos() as f64
-            / (self.servers.len() as u64 * horizon.as_nanos()) as f64
+        self.busy_total.as_nanos() as f64 / (self.servers.len() as u64 * horizon.as_nanos()) as f64
     }
 }
 

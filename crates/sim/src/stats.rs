@@ -108,7 +108,11 @@ impl Histogram {
             if seen + c >= target {
                 // Interpolate within [2^b, 2^(b+1)).
                 let lo = 1u64 << b;
-                let hi = if b + 1 >= 64 { u64::MAX } else { 1u64 << (b + 1) };
+                let hi = if b + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (b + 1)
+                };
                 let frac = (target - seen) as f64 / c as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
                 return Nanos::new(est as u64).max(self.min).min(self.max);
@@ -143,7 +147,11 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
-            min: if self.count == 0 { Nanos::ZERO } else { self.min },
+            min: if self.count == 0 {
+                Nanos::ZERO
+            } else {
+                self.min
+            },
             max: self.max,
         }
     }

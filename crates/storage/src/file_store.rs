@@ -124,14 +124,10 @@ impl FileChunkStore {
                 }
                 let fp_bytes: [u8; FINGERPRINT_LEN] =
                     header[..FINGERPRINT_LEN].try_into().expect("20 bytes");
-                let len = u32::from_le_bytes(
-                    header[FINGERPRINT_LEN..].try_into().expect("4 bytes"),
-                );
+                let len =
+                    u32::from_le_bytes(header[FINGERPRINT_LEN..].try_into().expect("4 bytes"));
                 // Skip the payload without loading it.
-                std::io::copy(
-                    &mut reader.by_ref().take(len as u64),
-                    &mut std::io::sink(),
-                )?;
+                std::io::copy(&mut reader.by_ref().take(len as u64), &mut std::io::sink())?;
                 self.index.insert(
                     ChunkId::new(container, slot),
                     IndexEntry {
@@ -252,10 +248,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "shhc_filestore_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("shhc_filestore_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -266,8 +259,12 @@ mod tests {
         let (id_a, id_b);
         {
             let mut store = FileChunkStore::open(&dir, 1024).unwrap();
-            id_a = store.put(fingerprint_of(b"alpha"), b"alpha".to_vec()).unwrap();
-            id_b = store.put(fingerprint_of(b"beta"), b"beta".to_vec()).unwrap();
+            id_a = store
+                .put(fingerprint_of(b"alpha"), b"alpha".to_vec())
+                .unwrap();
+            id_b = store
+                .put(fingerprint_of(b"beta"), b"beta".to_vec())
+                .unwrap();
             assert_eq!(store.get(id_a).unwrap(), b"alpha");
         }
         // Reopen: index must be rebuilt from the files.

@@ -87,7 +87,10 @@ mod tests {
             .to_string(),
             "out of space in flash device"
         );
-        assert_eq!(Error::not_found("chunk-1.2").to_string(), "not found: chunk-1.2");
+        assert_eq!(
+            Error::not_found("chunk-1.2").to_string(),
+            "not found: chunk-1.2"
+        );
     }
 
     #[test]

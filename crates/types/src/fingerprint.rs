@@ -157,7 +157,11 @@ impl fmt::Display for ParseFingerprintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             ParseErrorKind::Length(n) => {
-                write!(f, "expected {} hex characters, found {n}", FINGERPRINT_LEN * 2)
+                write!(
+                    f,
+                    "expected {} hex characters, found {n}",
+                    FINGERPRINT_LEN * 2
+                )
             }
             ParseErrorKind::Digit(c) => write!(f, "invalid hex digit {c:?}"),
         }
@@ -274,7 +278,10 @@ mod tests {
         }
         let fp = Fingerprint::from_bytes(bytes);
         assert_eq!(fp.route_key(), u64::from_be_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
-        assert_eq!(fp.bucket_key(), u64::from_be_bytes([8, 9, 10, 11, 12, 13, 14, 15]));
+        assert_eq!(
+            fp.bucket_key(),
+            u64::from_be_bytes([8, 9, 10, 11, 12, 13, 14, 15])
+        );
         assert_eq!(fp.tag32(), u32::from_be_bytes([16, 17, 18, 19]));
     }
 

@@ -23,9 +23,7 @@ pub const GIB: u64 = 1024 * MIB;
 /// assert_eq!(total.as_u64(), 8 * 1024 + 512);
 /// assert_eq!(ByteSize::from_mib(4).to_string(), "4.00 MiB");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ByteSize(u64);
 

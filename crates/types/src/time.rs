@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros_f64(), 100.0);
 /// assert_eq!(t * 3, Nanos::from_micros(300));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Nanos(u64);
 

@@ -232,10 +232,7 @@ mod tests {
         b.mutate(&MutationSpec::default(), 42);
         assert_eq!(a, b);
         // Most files are untouched by one round.
-        let unchanged = base
-            .iter()
-            .filter(|(p, d)| a.file(p) == Some(*d))
-            .count();
+        let unchanged = base.iter().filter(|(p, d)| a.file(p) == Some(*d)).count();
         assert!(unchanged >= base.len() - 8, "mutation touched too much");
     }
 

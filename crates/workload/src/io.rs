@@ -31,8 +31,7 @@ pub fn save_trace(trace: &Trace, path: &Path) -> Result<()> {
         spec: trace.spec.clone(),
         count: trace.fingerprints.len() as u64,
     };
-    let header_json =
-        serde_json::to_string(&header).map_err(|e| Error::Io(e.to_string()))?;
+    let header_json = serde_json::to_string(&header).map_err(|e| Error::Io(e.to_string()))?;
     writeln!(w, "{header_json}")?;
     for fp in &trace.fingerprints {
         w.write_all(fp.as_bytes())?;

@@ -26,12 +26,7 @@ fn identical_answers_on_a_real_workload_shape() {
         let expected = reference.contains(fp);
         for index in &mut indexes {
             let got = index.lookup_insert(*fp).unwrap().existed;
-            assert_eq!(
-                got,
-                expected,
-                "{} diverged at position {i}",
-                index.name()
-            );
+            assert_eq!(got, expected, "{} diverged at position {i}", index.name());
         }
         reference.insert(*fp);
     }

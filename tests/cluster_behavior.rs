@@ -147,8 +147,7 @@ fn growth_preserves_every_answer() {
 
 #[test]
 fn replicated_cluster_masks_single_failures_fully() {
-    let cluster =
-        ShhcCluster::spawn(ClusterConfig::small_test(4).with_replication(2)).unwrap();
+    let cluster = ShhcCluster::spawn(ClusterConfig::small_test(4).with_replication(2)).unwrap();
     let stream = fps(0..2_000);
     cluster.lookup_insert_batch(&stream).unwrap();
 

@@ -118,7 +118,10 @@ fn figure1_shape_holds_under_the_kernel() {
         .filter(|p| p.rate_per_sec > 50_000.0)
         .map(|p| p.execution_time.as_secs_f64())
         .collect();
-    assert!(hi[0] > hi[1] && hi[1] > hi[2], "no scaling at high rate: {hi:?}");
+    assert!(
+        hi[0] > hi[1] && hi[1] > hi[2],
+        "no scaling at high rate: {hi:?}"
+    );
 }
 
 #[test]

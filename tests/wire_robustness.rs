@@ -3,7 +3,6 @@
 //! garbage — and every valid frame must survive a real cross-thread
 //! transport hop.
 
-use bytes::Bytes;
 use proptest::prelude::*;
 use shhc_net::{decode, duplex, encode, Frame};
 use shhc_types::{Fingerprint, StreamId};
@@ -23,15 +22,22 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             correlation: c,
             fingerprints: f,
         }),
-        (any::<u64>(), proptest::collection::vec(any::<bool>(), 0..64)).prop_map(|(c, e)| {
-            let hits = e.iter().filter(|x| **x).count() as u64;
-            Frame::LookupResp {
-                correlation: c,
-                exists: e,
-                values: (0..hits).collect(),
-            }
-        }),
-        (any::<u64>(), proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32))
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<bool>(), 0..64)
+        )
+            .prop_map(|(c, e)| {
+                let hits = e.iter().filter(|x| **x).count() as u64;
+                Frame::LookupResp {
+                    correlation: c,
+                    exists: e,
+                    values: (0..hits).collect(),
+                }
+            }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32)
+        )
             .prop_map(|(c, pairs)| Frame::RecordReq {
                 correlation: c,
                 pairs: pairs
@@ -81,7 +87,7 @@ proptest! {
     #[test]
     fn trailing_bytes_rejected(frame in arb_frame(), extra in 1usize..16) {
         let mut bytes = encode(&frame).to_vec();
-        bytes.extend(std::iter::repeat(0xAA).take(extra));
+        bytes.extend(std::iter::repeat_n(0xAA, extra));
         prop_assert!(decode(&bytes).is_err());
     }
 }

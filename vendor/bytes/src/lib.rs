@@ -1,0 +1,435 @@
+//! Minimal, offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply-cloneable immutable buffer (`Arc<[u8]>` plus a
+//! view window), [`BytesMut`] a growable builder that freezes into one,
+//! and [`Buf`]/[`BufMut`] the little-endian/big-endian cursor traits the
+//! wire codec uses.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable, contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice (copied once; the shim has no zero-copy
+    /// static storage, which only matters for large constants).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns the view as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Shortens the view to `len` bytes, dropping the tail.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+
+    /// Returns a sub-view of the given range.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes of reserved space.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.inner).fmt(f)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+macro_rules! buf_get {
+    ($($name:ident -> $t:ty, $from:ident;)*) => {$(
+        /// Reads one value, advancing the cursor.
+        ///
+        /// # Panics
+        ///
+        /// Panics if fewer than `size_of` bytes remain.
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::$from(raw)
+        }
+    )*};
+}
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns the unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    buf_get! {
+        get_u16 -> u16, from_be_bytes;
+        get_u16_le -> u16, from_le_bytes;
+        get_u32 -> u32, from_be_bytes;
+        get_u32_le -> u32, from_le_bytes;
+        get_u64 -> u64, from_be_bytes;
+        get_u64_le -> u64, from_le_bytes;
+        get_i32 -> i32, from_be_bytes;
+        get_i32_le -> i32, from_le_bytes;
+        get_i64 -> i64, from_be_bytes;
+        get_i64_le -> i64, from_le_bytes;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+macro_rules! buf_put {
+    ($($name:ident($t:ty), $to:ident;)*) => {$(
+        /// Appends one value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.$to());
+        }
+    )*};
+}
+
+/// Append-only write cursor.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put! {
+        put_u16(u16), to_be_bytes;
+        put_u16_le(u16), to_le_bytes;
+        put_u32(u32), to_be_bytes;
+        put_u32_le(u32), to_le_bytes;
+        put_u64(u64), to_be_bytes;
+        put_u64_le(u64), to_le_bytes;
+        put_i32(i32), to_be_bytes;
+        put_i32_le(i32), to_le_bytes;
+        put_i64(i64), to_be_bytes;
+        put_i64_le(i64), to_le_bytes;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(42);
+        b.put_u8(7);
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u32_le(), 0xdead_beef);
+        assert_eq!(cur.get_u64_le(), 42);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_views_share_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(b.slice(1..3), Bytes::from(vec![4, 5]));
+    }
+}

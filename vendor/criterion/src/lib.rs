@@ -1,0 +1,278 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Implements the macro/entry-point surface the bench targets use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations) with a simple but honest
+//! measurement loop: warm-up, then `sample_size` timed samples whose
+//! median and min/max are reported on stdout. No statistics engine, no
+//! HTML reports — numbers suitable for coarse regression spotting.
+//!
+//! `cargo bench -- <filter>` filters benchmark ids by substring, like the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver (configuration + run loop).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reads a benchmark-id substring filter from the command line
+    /// (everything after `--` when invoked via `cargo bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if !filter.is_empty() {
+            self.filter = Some(filter.join(" "));
+        }
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let saved_sample_size = self.sample_size;
+        let saved_measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+            saved_sample_size,
+            saved_measurement_time,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, throughput: Option<Throughput>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: double the iteration count until one batch fills the
+        // warm-up budget, which also calibrates the batch size.
+        let warm_up_start = Instant::now();
+        loop {
+            f(&mut b);
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            b.iters = (b.iters * 2).min(1 << 30);
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+
+        // Pick a batch size so all samples fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = batch;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(" thrpt: {}/s", format_bytes(n as f64 / median))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(" thrpt: {:.3} Melem/s", n as f64 / median / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<40} time: [{} {} {}]{rate}",
+            format_time(min),
+            format_time(median),
+            format_time(max),
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn format_bytes(bytes_per_sec: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bytes_per_sec >= GIB {
+        format!("{:.3} GiB", bytes_per_sec / GIB)
+    } else if bytes_per_sec >= MIB {
+        format!("{:.3} MiB", bytes_per_sec / MIB)
+    } else if bytes_per_sec >= KIB {
+        format!("{:.3} KiB", bytes_per_sec / KIB)
+    } else {
+        format!("{bytes_per_sec:.1} B")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+///
+/// `sample_size`/`measurement_time` overrides are scoped to the group:
+/// the parent [`Criterion`] configuration is restored when the group is
+/// finished (or dropped), matching real criterion's behaviour.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    saved_sample_size: usize,
+    saved_measurement_time: Duration,
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.sample_size = self.saved_sample_size;
+        self.criterion.measurement_time = self.saved_measurement_time;
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Supports the subset the SHHC test-suite uses: the `proptest!` macro
+//! (with `x in strategy`, `x: Type` and `#![proptest_config(...)]`
+//! forms), `any::<T>()`, integer-range strategies, tuple strategies,
+//! `Just`, `prop_map`, `prop_oneof!`, `proptest::collection::vec`, and
+//! the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its case number and the deterministic per-test seed, which is enough
+//! to re-run it. Case generation is seeded from the test name, so runs
+//! are reproducible; set `PROPTEST_CASES` to change the case count
+//! (default 64).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test module usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests.
+///
+/// Each item must look like a `#[test]` function whose parameters are
+/// either `name in strategy` or `name: Type` (desugared to
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one generated fn per item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run($config, stringify!($name), |__pt_rng| {
+                    $crate::__proptest_bind!(__pt_rng; $body; $($params)*)
+                });
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds each parameter from its
+/// strategy, then evaluates the body inside a `Result` closure so the
+/// `prop_assert*` macros can early-return.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; $body:block; $(,)?) => {{
+        #[allow(clippy::redundant_closure_call)]
+        (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::core::result::Result::Ok(())
+        })()
+    }};
+    ($rng:ident; $body:block; mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {{
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $body; $($($rest)*)?)
+    }};
+    ($rng:ident; $body:block; $name:ident in $strat:expr $(, $($rest:tt)*)?) => {{
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $body; $($($rest)*)?)
+    }};
+    ($rng:ident; $body:block; mut $name:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let mut $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $body; $($($rest)*)?)
+    }};
+    ($rng:ident; $body:block; $name:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $body; $($($rest)*)?)
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (does not count it as run) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,200 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest compiles full regexes; this shim supports the subset
+//! that appears in test patterns: literal characters, `.`, character
+//! classes `[a-z0-9_]` (ranges and plain members; leading `^` negates
+//! over printable ASCII), and the quantifiers `{m,n}`, `{n}`, `*`, `+`,
+//! `?` (unbounded forms cap at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable ASCII character (`.`).
+    Dot,
+    /// One of an explicit set (`[...]`).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern usable as a `Strategy<Value = String>`.
+#[derive(Debug, Clone)]
+pub struct StringParam {
+    pieces: Vec<Piece>,
+}
+
+const PRINTABLE: (u8, u8) = (0x20, 0x7e);
+
+fn parse(pattern: &str) -> StringParam {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut body = &chars[i + 1..close];
+                let negate = body.first() == Some(&'^');
+                if negate {
+                    body = &body[1..];
+                }
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                if negate {
+                    let excluded = set;
+                    set = (PRINTABLE.0..=PRINTABLE.1)
+                        .map(|b| b as char)
+                        .filter(|c| !excluded.contains(c))
+                        .collect();
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad {m,n} lower bound");
+                        let hi = hi.trim().parse().expect("bad {m,n} upper bound");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    StringParam { pieces }
+}
+
+impl Strategy for StringParam {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let span = (piece.max - piece.min) as u64;
+            let count = piece.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Dot => {
+                        let b =
+                            PRINTABLE.0 + rng.below((PRINTABLE.1 - PRINTABLE.0 + 1) as u64) as u8;
+                        out.push(b as char);
+                    }
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_with_counted_repeat() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[ -~]{0,64}".generate(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = "ab[0-9]{3}c?".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        let digits: String = s[2..5].to_string();
+        assert!(digits.chars().all(|c| c.is_ascii_digit()));
+    }
+}

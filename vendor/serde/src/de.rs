@@ -1,0 +1,250 @@
+//! Deserialization half of the mini-serde data model.
+//!
+//! Unlike real serde's visitor machinery, every deserializer here can
+//! surrender a self-describing [`Value`](crate::value::Value); concrete
+//! `Deserialize` impls pattern-match on that. The generic signatures still
+//! mirror serde's, so hand-written impls port over unchanged.
+
+use crate::value::{Value, ValueDeserializer};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// Error trait for deserializers.
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+
+    /// A required struct field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A data format that can deserialize the supported data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error: Error;
+
+    /// Whether the format is human readable (JSON is).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+
+    /// Consumes the deserializer, yielding the underlying value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format_args!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_value()? {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format_args!("integer {n} out of range"))),
+                    v => Err(unexpected(stringify!($t), &v)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let wide: i64 = match d.into_value()? {
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| D::Error::custom(format_args!("integer {n} out of range")))?,
+                    Value::I64(n) => n,
+                    v => return Err(unexpected(stringify!($t), &v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format_args!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            v => Err(unexpected("f64", &v)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Bool(b) => Ok(b),
+            v => Err(unexpected("bool", &v)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Str(s) => Ok(s),
+            v => Err(unexpected("string", &v)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Null => Ok(()),
+            v => Err(unexpected("null", &v)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Null => Ok(None),
+            v => T::deserialize(ValueDeserializer::<D::Error>::new(v)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer::<D::Error>::new(v)))
+                .collect(),
+            v => Err(unexpected("sequence", &v)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format_args!("expected {N} elements, got {len}")))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = A::deserialize(ValueDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                let b = B::deserialize(ValueDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                Ok((a, b))
+            }
+            v => Err(unexpected("2-element sequence", &v)),
+        }
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: Deserialize<'de>,
+    B: Deserialize<'de>,
+    C: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Seq(items) if items.len() == 3 => {
+                let mut it = items.into_iter();
+                let a = A::deserialize(ValueDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                let b = B::deserialize(ValueDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                let c = C::deserialize(ValueDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                Ok((a, b, c))
+            }
+            v => Err(unexpected("3-element sequence", &v)),
+        }
+    }
+}
+
+fn de_map_entries<'de, K, V, D>(d: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    match d.into_value()? {
+        Value::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                // JSON object keys are always strings; integer-keyed maps
+                // round-trip by re-parsing the key (as real serde_json does).
+                let k = K::deserialize(ValueDeserializer::<D::Error>::new(Value::Str(k.clone())))
+                    .or_else(|str_err| {
+                    let reparsed = if let Ok(n) = k.parse::<u64>() {
+                        Value::U64(n)
+                    } else if let Ok(n) = k.parse::<i64>() {
+                        Value::I64(n)
+                    } else {
+                        return Err(str_err);
+                    };
+                    K::deserialize(ValueDeserializer::<D::Error>::new(reparsed))
+                })?;
+                let v = V::deserialize(ValueDeserializer::<D::Error>::new(v))?;
+                Ok((k, v))
+            })
+            .collect(),
+        v => Err(unexpected("map", &v)),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        de_map_entries(d).map(|entries| entries.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        de_map_entries(d).map(|entries| entries.into_iter().collect())
+    }
+}

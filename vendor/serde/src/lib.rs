@@ -1,0 +1,24 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny slice of serde's API that the SHHC sources actually use:
+//! `Serialize`/`Deserialize` (plus their derive macros, re-exported from
+//! `serde_derive`), the `Serializer`/`Deserializer` traits with
+//! `is_human_readable`, and the `ser::Error`/`de::Error` traits.
+//!
+//! Instead of serde's visitor-based data model, deserialization funnels
+//! through a single self-describing [`value::Value`] tree; `serde_json`
+//! renders and parses that tree. The generic trait signatures mirror real
+//! serde closely enough that hand-written impls (e.g. `Fingerprint`'s
+//! hex form) compile unchanged, so swapping the real crates back in when
+//! a registry is available is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,209 @@
+//! The self-describing value tree that backs this mini-serde.
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A dynamically-typed serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Removes and returns the value stored under `key`, if present.
+///
+/// Helper for derive-generated struct deserialization.
+pub fn take(map: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let idx = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(idx).1)
+}
+
+/// Error produced when serializing to or deserializing from a [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializes any `T: Serialize` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, ValueError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::<ValueError>::new(v))
+}
+
+/// A [`Serializer`] whose output is a [`Value`].
+pub struct ValueSerializer;
+
+/// In-progress sequence for [`ValueSerializer`].
+pub struct ValueSeq(Vec<Value>);
+/// In-progress map for [`ValueSerializer`].
+pub struct ValueMap(Vec<(String, Value)>);
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    type SerializeSeq = ValueSeq;
+    type SerializeMap = ValueMap;
+    type SerializeStruct = ValueMap;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, ValueError> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, ValueError> {
+        if v >= 0 {
+            Ok(Value::U64(v as u64))
+        } else {
+            Ok(Value::I64(v))
+        }
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+        Ok(Value::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+        Ok(Value::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+        Ok(Value::Str(v.to_owned()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, ValueError> {
+        Ok(Value::Seq(
+            v.iter().map(|&b| Value::U64(b as u64)).collect(),
+        ))
+    }
+    fn serialize_unit(self) -> Result<Value, ValueError> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, ValueError> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Value, ValueError> {
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, ValueError> {
+        Ok(ValueSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<ValueMap, ValueError> {
+        Ok(ValueMap(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ValueMap, ValueError> {
+        Ok(ValueMap(Vec::with_capacity(len)))
+    }
+}
+
+impl SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), ValueError> {
+        self.0.push(v.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Seq(self.0))
+    }
+}
+
+impl SerializeMap for ValueMap {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), ValueError> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::Str(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            other => {
+                return Err(ValueError(format!("unsupported map key: {other:?}")));
+            }
+        };
+        self.0.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Map(self.0))
+    }
+}
+
+impl SerializeStruct for ValueMap {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        v: &T,
+    ) -> Result<(), ValueError> {
+        self.0
+            .push((name.to_owned(), v.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Map(self.0))
+    }
+}
+
+/// A [`Deserializer`] that reads back out of a [`Value`], generic over the
+/// caller's error type so nested deserialization keeps `D::Error` intact.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn into_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}

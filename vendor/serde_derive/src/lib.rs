@@ -1,0 +1,304 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! mini-serde, written against `proc_macro` directly (no syn/quote — the
+//! build environment is offline).
+//!
+//! Supported input shapes — exactly what the SHHC sources need:
+//! - structs with named fields,
+//! - tuple structs (serialized as sequences),
+//! - `#[serde(transparent)]` newtype structs (delegate to the inner field).
+//!
+//! Generated code references the `serde` crate by path, so the derive must
+//! be used through `serde`'s re-export (as the workspace does).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Description of the type a derive was applied to.
+struct Input {
+    name: String,
+    transparent: bool,
+    fields: Fields,
+}
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Outer attributes: `# [ ... ]`, watching for `#[serde(transparent)]`.
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let mut attr = g.stream().into_iter();
+        if let Some(TokenTree::Ident(name)) = attr.next() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = attr.next() {
+                    let args = args.stream().to_string();
+                    if args.contains("transparent") {
+                        transparent = true;
+                    } else {
+                        panic!("serde_derive: unsupported serde attribute `{args}`");
+                    }
+                }
+            }
+        }
+    }
+
+    // Visibility, then `struct`/`enum`.
+    let mut kind = None;
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => {
+                    kind = Some("struct");
+                    break;
+                }
+                "enum" => {
+                    kind = Some("enum");
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    if kind != Some("struct") {
+        panic!("serde_derive: only structs are supported by the vendored mini-serde");
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct name, got {other:?}"),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic structs are not supported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            name,
+            transparent,
+            fields: Fields::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+            name,
+            transparent,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        },
+        other => panic!("serde_derive: unsupported struct body {other:?}"),
+    }
+}
+
+/// Extracts field names from a named-field body. Types are skipped by
+/// consuming tokens to the next comma outside `<...>` nesting (token
+/// streams do not group angle brackets).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            iter.next(); // the [...] group
+        }
+        // Visibility.
+        while let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next(); // pub(crate) etc.
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        names.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    // Count field *starts* (first token, and the first token after each
+    // top-level comma), so a trailing comma adds no phantom field.
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    in_field = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_field {
+            count += 1;
+            in_field = true;
+        }
+    }
+    count
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match (&input.fields, input.transparent) {
+        (Fields::Tuple(1), true) => "serde::Serialize::serialize(&self.0, __s)".to_owned(),
+        (Fields::Named(fields), true) if fields.len() == 1 => {
+            format!("serde::Serialize::serialize(&self.{}, __s)", fields[0])
+        }
+        (_, true) => panic!("serde_derive: #[serde(transparent)] requires exactly one field"),
+        (Fields::Named(fields), false) => {
+            let mut code = format!(
+                "use serde::ser::SerializeStruct as _;\n\
+                 let mut __st = serde::Serializer::serialize_struct(__s, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                code.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;\n"));
+            }
+            code.push_str("__st.end()");
+            code
+        }
+        (Fields::Tuple(n), false) => {
+            let mut code = format!(
+                "use serde::ser::SerializeSeq as _;\n\
+                 let mut __seq = serde::Serializer::serialize_seq(__s, Some({n}))?;\n"
+            );
+            for i in 0..*n {
+                code.push_str(&format!("__seq.serialize_element(&self.{i})?;\n"));
+            }
+            code.push_str("__seq.end()");
+            code
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl should parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match (&input.fields, input.transparent) {
+        (Fields::Tuple(1), true) => {
+            format!("serde::Deserialize::deserialize(__d).map({name})")
+        }
+        (Fields::Named(fields), true) if fields.len() == 1 => {
+            let f = &fields[0];
+            format!("serde::Deserialize::deserialize(__d).map(|__v| {name} {{ {f}: __v }})")
+        }
+        (_, true) => panic!("serde_derive: #[serde(transparent)] requires exactly one field"),
+        (Fields::Named(fields), false) => {
+            let mut code = format!(
+                "let __v = serde::Deserializer::into_value(__d)?;\n\
+                 let mut __m = match __v {{\n\
+                     serde::value::Value::Map(m) => m,\n\
+                     other => return Err(<__D::Error as serde::de::Error>::custom(\n\
+                         format!(\"expected map for struct {name}, got {{other:?}}\"))),\n\
+                 }};\n"
+            );
+            for (i, f) in fields.iter().enumerate() {
+                // Absent fields deserialize from Null so `Option` fields
+                // default to `None`; everything else reports the miss.
+                code.push_str(&format!(
+                    "let __f{i} = {{\n\
+                         let __val = serde::value::take(&mut __m, \"{f}\")\n\
+                             .unwrap_or(serde::value::Value::Null);\n\
+                         serde::Deserialize::deserialize(\n\
+                             serde::value::ValueDeserializer::<__D::Error>::new(__val))\n\
+                             .map_err(|__e| <__D::Error as serde::de::Error>::custom(\n\
+                                 format!(\"field `{f}` of {name}: {{__e}}\")))?\n\
+                     }};\n"
+                ));
+            }
+            code.push_str(&format!("Ok({name} {{\n"));
+            for (i, f) in fields.iter().enumerate() {
+                code.push_str(&format!("{f}: __f{i},\n"));
+            }
+            code.push_str("})");
+            code
+        }
+        (Fields::Tuple(n), false) => {
+            let mut code = format!(
+                "let __v = serde::Deserializer::into_value(__d)?;\n\
+                 let __items = match __v {{\n\
+                     serde::value::Value::Seq(items) if items.len() == {n} => items,\n\
+                     other => return Err(<__D::Error as serde::de::Error>::custom(\n\
+                         format!(\"expected {n}-element sequence for {name}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 let mut __it = __items.into_iter();\n"
+            );
+            for i in 0..*n {
+                code.push_str(&format!(
+                    "let __f{i} = serde::Deserialize::deserialize(\n\
+                         serde::value::ValueDeserializer::<__D::Error>::new(\
+                             __it.next().unwrap()))?;\n"
+                ));
+            }
+            code.push_str(&format!("Ok({name}("));
+            for i in 0..*n {
+                code.push_str(&format!("__f{i},"));
+            }
+            code.push_str("))");
+            code
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl should parse")
+}
