@@ -1,0 +1,182 @@
+//! Extension — wall-clock scaling of the threaded cluster data plane.
+//!
+//! Unlike the virtual-time figures, this harness measures *real* elapsed
+//! time: it spawns actual node server threads whose per-fingerprint
+//! service time is a wall-clock sleep (`NodeConfig::service_delay`,
+//! standing in for device latency), then drives identical lookup-insert
+//! streams through both data planes:
+//!
+//! - `sequential` — the pre-pipeline baseline: one blocking exchange per
+//!   replica group at a time, so a batch pays the *sum* of per-node
+//!   service times,
+//! - `pipelined` — the scatter-gather plane: all groups in flight at
+//!   once, so a batch pays ≈ the *max*.
+//!
+//! Expected shape: sequential throughput is flat in node count (the
+//! client serializes the cluster), pipelined throughput grows near
+//! linearly — the paper's Figure 5 scaling claim, now in wall-clock
+//! terms. Emits `results/ext_wallclock_scaling.csv` plus the
+//! machine-readable `BENCH_wallclock_scaling.json` at the workspace
+//! root. Set `SHHC_WALLCLOCK_QUICK=1` for a sub-second CI smoke run.
+
+use std::time::{Duration, Instant};
+
+use shhc::{ClusterConfig, DataPlane, NodeConfig, ShhcCluster};
+use shhc_bench::{banner, wallclock_quick, write_bench_json, write_csv};
+use shhc_flash::FlashConfig;
+use shhc_types::Fingerprint;
+
+/// Deterministic unique fingerprints, spread over the ring like real
+/// SHA-1 output (golden-ratio mix of the counter).
+fn workload(batches: usize, batch_size: usize) -> Vec<Vec<Fingerprint>> {
+    (0..batches)
+        .map(|b| {
+            (0..batch_size)
+                .map(|i| {
+                    let k = (b * batch_size + i) as u64;
+                    Fingerprint::from_u64(k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Measured {
+    lookups: u64,
+    elapsed: Duration,
+    lookups_per_sec: f64,
+}
+
+/// Drives one cluster: an ingest pass (all new) followed by a dedup pass
+/// (all duplicates) over the same batches — the sustained lookup-insert
+/// stream a backup window produces.
+fn drive(
+    nodes: u32,
+    plane: DataPlane,
+    stream: &[Vec<Fingerprint>],
+    service_delay: Duration,
+) -> Measured {
+    let mut node_config = NodeConfig::small_test();
+    node_config.flash = FlashConfig::medium_test();
+    node_config.cache_capacity = 16_384;
+    node_config.bloom_expected = 500_000;
+    node_config.service_delay = service_delay;
+    let cluster = ShhcCluster::spawn(ClusterConfig::new(nodes, node_config).with_data_plane(plane))
+        .expect("spawn cluster");
+    let start = Instant::now();
+    for batch in stream {
+        let exists = cluster.lookup_insert_batch(batch).expect("lookup");
+        debug_assert!(exists.iter().all(|e| !e), "ingest pass must be all-new");
+    }
+    for batch in stream {
+        let exists = cluster.lookup_insert_batch(batch).expect("lookup");
+        assert!(exists.iter().all(|e| *e), "dedup pass must be all-hits");
+    }
+    let elapsed = start.elapsed();
+    cluster.shutdown().expect("shutdown");
+    let lookups = 2 * stream.iter().map(|b| b.len() as u64).sum::<u64>();
+    Measured {
+        lookups,
+        elapsed,
+        lookups_per_sec: lookups as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = wallclock_quick();
+    let (node_counts, batches, batch_size, delay) = if quick {
+        (
+            vec![1u32, 2, 4],
+            3usize,
+            64usize,
+            Duration::from_micros(200),
+        )
+    } else {
+        (vec![1, 2, 4, 8], 12, 512, Duration::from_micros(100))
+    };
+    banner(
+        "Extension — wall-clock scaling: pipelined vs sequential data plane",
+        "batch latency tracks max, not sum, of per-node service times; \
+         pipelined throughput scales with node count",
+    );
+    println!(
+        "mode: {}, {batches} batches x {batch_size} fingerprints x 2 passes, \
+         {} µs simulated device latency per fingerprint\n",
+        if quick { "quick (CI smoke)" } else { "full" },
+        delay.as_micros()
+    );
+    let stream = workload(batches, batch_size);
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>9}   (sustained lookups/second)",
+        "nodes", "sequential", "pipelined", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for &nodes in &node_counts {
+        let seq = drive(nodes, DataPlane::Sequential, &stream, delay);
+        let pipe = drive(nodes, DataPlane::Pipelined, &stream, delay);
+        let speedup = pipe.lookups_per_sec / seq.lookups_per_sec;
+        println!(
+            "{nodes:>6} {:>16.0} {:>16.0} {speedup:>8.2}x",
+            seq.lookups_per_sec, pipe.lookups_per_sec
+        );
+        for (name, m) in [("sequential", &seq), ("pipelined", &pipe)] {
+            rows.push(format!(
+                "{nodes},{name},{batches},{batch_size},{},{},{:.3},{:.0}",
+                delay.as_micros(),
+                m.lookups,
+                m.elapsed.as_secs_f64() * 1e3,
+                m.lookups_per_sec
+            ));
+        }
+        summary.push((nodes, seq.lookups_per_sec, pipe.lookups_per_sec, speedup));
+    }
+
+    let at = |n: u32| summary.iter().find(|s| s.0 == n);
+    println!("\nchecks:");
+    if let Some(&(_, _, _, speedup)) = at(4) {
+        println!("  pipelined vs sequential at 4 nodes: {speedup:.2}x (target: ≥ 2x)");
+    }
+    if let (Some(&(_, _, p1, _)), Some(&(_, _, p4, _))) = (at(1), at(4)) {
+        println!(
+            "  pipelined scaling 1→4 nodes:        {:.2}x (paper: near-linear)",
+            p4 / p1
+        );
+    }
+
+    // Quick (smoke) runs write under a distinct name so they can never
+    // clobber the committed full-run artifacts.
+    write_csv(
+        if quick {
+            "ext_wallclock_scaling_quick"
+        } else {
+            "ext_wallclock_scaling"
+        },
+        "nodes,data_plane,batches,batch_size,service_delay_us,total_lookups,elapsed_ms,lookups_per_sec",
+        &rows,
+    );
+    if quick {
+        println!("quick mode: skipping BENCH_wallclock_scaling.json (full-run record)");
+        return;
+    }
+    let entries: Vec<String> = summary
+        .iter()
+        .map(|(n, s, p, x)| {
+            format!(
+                "    {{\"nodes\": {n}, \"sequential_lookups_per_sec\": {s:.0}, \
+                 \"pipelined_lookups_per_sec\": {p:.0}, \"speedup\": {x:.3}}}"
+            )
+        })
+        .collect();
+    write_bench_json(
+        "wallclock_scaling",
+        &format!(
+            "{{\n  \"bench\": \"ext_wallclock_scaling\",\n  \"quick\": {quick},\n  \
+             \"batches\": {batches},\n  \"batch_size\": {batch_size},\n  \
+             \"service_delay_us\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            delay.as_micros(),
+            entries.join(",\n")
+        ),
+    );
+}

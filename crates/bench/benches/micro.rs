@@ -11,7 +11,7 @@ use shhc_cache::{Cache, LruCache};
 use shhc_chunking::{Chunker, GearChunker, RabinChunker};
 use shhc_flash::{FlashConfig, FlashStore};
 use shhc_hash::{fnv1a64, xxh64, Sha1};
-use shhc_net::{decode, encode, Frame};
+use shhc_net::{decode, encode, encode_into, Frame};
 use shhc_ring::{ConsistentHashRing, Partitioner};
 use shhc_types::{Fingerprint, StreamId};
 
@@ -161,6 +161,10 @@ fn bench_wire(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("encode_128", |b| {
         b.iter(|| encode(black_box(&frame)));
+    });
+    group.bench_function("encode_into_128", |b| {
+        let mut buf = bytes::BytesMut::with_capacity(bytes.len());
+        b.iter(|| encode_into(black_box(&frame), &mut buf));
     });
     group.bench_function("decode_128", |b| {
         b.iter(|| decode(black_box(&bytes)).expect("decode"));

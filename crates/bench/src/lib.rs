@@ -32,13 +32,32 @@ pub fn fig1_requests() -> u64 {
         .unwrap_or(100_000)
 }
 
+/// Quick mode for the wall-clock scaling bench (`SHHC_WALLCLOCK_QUICK`):
+/// tiny batch counts so CI can smoke-run the harness in under a second.
+pub fn wallclock_quick() -> bool {
+    std::env::var("SHHC_WALLCLOCK_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The workspace root (where `BENCH_*.json` summaries land).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// The `results/` directory at the workspace root (created on demand).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = workspace_root().join("results");
     std::fs::create_dir_all(&dir).expect("create results directory");
     dir
+}
+
+/// Writes a machine-readable summary as `BENCH_<name>.json` at the
+/// workspace root (the cross-PR perf-trajectory record).
+pub fn write_bench_json(name: &str, json: &str) {
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json).expect("write bench json");
+    println!("→ wrote {}", path.display());
 }
 
 /// Writes `rows` (plus a header) as `results/<name>.csv`.

@@ -14,6 +14,11 @@
 //! all implementing the object-safe [`Cache`] trait, plus [`CacheStats`]
 //! instrumentation shared by every policy.
 //!
+//! Every policy is generic over its [`std::hash::BuildHasher`] and
+//! defaults to [`shhc_types::FingerprintBuildHasher`]: cache keys are
+//! SHA-1 fingerprints (or ids derived from them), already uniform, so the
+//! default SipHash state buys nothing on the lookup hot path.
+//!
 //! # Examples
 //!
 //! ```

@@ -1,6 +1,9 @@
 //! O(1) least-recently-used cache.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
+
+use shhc_types::FingerprintBuildHasher;
 
 use crate::{Cache, CacheKey, CacheStats};
 
@@ -22,6 +25,11 @@ struct Slot<K, V> {
 /// LRU is full, it discards the least recently used fingerprints."
 /// — SHHC §III.B
 ///
+/// The index defaults to [`FingerprintBuildHasher`] — cache keys are
+/// content hashes (or ids derived from them), so SipHash's seeded rounds
+/// buy nothing on this hot path. Pass another [`BuildHasher`] via
+/// [`LruCache::with_hasher`] to override.
+///
 /// # Examples
 ///
 /// ```
@@ -36,8 +44,8 @@ struct Slot<K, V> {
 /// assert_eq!(cache.get(&4), Some(&40));
 /// ```
 #[derive(Debug, Clone)]
-pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
+pub struct LruCache<K, V, S = FingerprintBuildHasher> {
+    map: HashMap<K, usize, S>,
     slots: Vec<Option<Slot<K, V>>>,
     free: Vec<usize>,
     /// Most recently used.
@@ -55,9 +63,20 @@ impl<K: CacheKey, V> LruCache<K, V> {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_hasher(capacity, FingerprintBuildHasher)
+    }
+}
+
+impl<K: CacheKey, V, S: BuildHasher> LruCache<K, V, S> {
+    /// Like [`LruCache::new`] but with an explicit hash-state builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_hasher(capacity: usize, hasher: S) -> Self {
         assert!(capacity > 0, "cache capacity must be nonzero");
         LruCache {
-            map: HashMap::new(),
+            map: HashMap::with_hasher(hasher),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -175,7 +194,7 @@ impl<K: CacheKey, V> LruCache<K, V> {
     }
 
     /// Iterates over entries from most- to least-recently used.
-    pub fn iter(&self) -> Iter<'_, K, V> {
+    pub fn iter(&self) -> Iter<'_, K, V, S> {
         Iter {
             cache: self,
             cursor: self.head,
@@ -186,12 +205,12 @@ impl<K: CacheKey, V> LruCache<K, V> {
 /// Iterator over cache entries in recency order (MRU first); created by
 /// [`LruCache::iter`].
 #[derive(Debug)]
-pub struct Iter<'a, K, V> {
-    cache: &'a LruCache<K, V>,
+pub struct Iter<'a, K, V, S = FingerprintBuildHasher> {
+    cache: &'a LruCache<K, V, S>,
     cursor: usize,
 }
 
-impl<'a, K: CacheKey, V> Iterator for Iter<'a, K, V> {
+impl<'a, K: CacheKey, V, S: BuildHasher> Iterator for Iter<'a, K, V, S> {
     type Item = (&'a K, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -204,7 +223,7 @@ impl<'a, K: CacheKey, V> Iterator for Iter<'a, K, V> {
     }
 }
 
-impl<K: CacheKey, V> Cache<K, V> for LruCache<K, V> {
+impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for LruCache<K, V, S> {
     fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {

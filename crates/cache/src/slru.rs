@@ -1,5 +1,9 @@
 //! Segmented LRU: a scan-resistant refinement of plain LRU.
 
+use std::hash::BuildHasher;
+
+use shhc_types::FingerprintBuildHasher;
+
 use crate::{Cache, CacheKey, CacheStats, LruCache};
 
 /// Two-segment LRU (probation + protected).
@@ -26,9 +30,9 @@ use crate::{Cache, CacheKey, CacheStats, LruCache};
 /// assert!(c.peek(&1));
 /// ```
 #[derive(Debug, Clone)]
-pub struct SegmentedLruCache<K, V> {
-    probation: LruCache<K, V>,
-    protected: LruCache<K, V>,
+pub struct SegmentedLruCache<K, V, S = FingerprintBuildHasher> {
+    probation: LruCache<K, V, S>,
+    protected: LruCache<K, V, S>,
     stats: CacheStats,
 }
 
@@ -41,6 +45,19 @@ impl<K: CacheKey, V> SegmentedLruCache<K, V> {
     /// Panics if `capacity < 2` or `protected_fraction` is outside
     /// `(0, 1)`.
     pub fn new(capacity: usize, protected_fraction: f64) -> Self {
+        Self::with_hasher(capacity, protected_fraction, FingerprintBuildHasher)
+    }
+}
+
+impl<K: CacheKey, V, S: BuildHasher + Clone> SegmentedLruCache<K, V, S> {
+    /// Like [`SegmentedLruCache::new`] with an explicit hash-state
+    /// builder (cloned into both segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` or `protected_fraction` is outside
+    /// `(0, 1)`.
+    pub fn with_hasher(capacity: usize, protected_fraction: f64, hasher: S) -> Self {
         assert!(capacity >= 2, "segmented LRU needs capacity ≥ 2");
         assert!(
             protected_fraction > 0.0 && protected_fraction < 1.0,
@@ -51,12 +68,14 @@ impl<K: CacheKey, V> SegmentedLruCache<K, V> {
             .min(capacity - 1);
         let probation = capacity - protected;
         SegmentedLruCache {
-            probation: LruCache::new(probation),
-            protected: LruCache::new(protected),
+            probation: LruCache::with_hasher(probation, hasher.clone()),
+            protected: LruCache::with_hasher(protected, hasher),
             stats: CacheStats::default(),
         }
     }
+}
 
+impl<K: CacheKey, V, S: BuildHasher> SegmentedLruCache<K, V, S> {
     /// Number of entries currently in the protected segment.
     pub fn protected_len(&self) -> usize {
         self.protected.len()
@@ -68,7 +87,7 @@ impl<K: CacheKey, V> SegmentedLruCache<K, V> {
     }
 }
 
-impl<K: CacheKey, V> Cache<K, V> for SegmentedLruCache<K, V> {
+impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for SegmentedLruCache<K, V, S> {
     fn get(&mut self, key: &K) -> Option<&V> {
         // Hit in protected: plain recency update.
         if self.protected.peek(key) {

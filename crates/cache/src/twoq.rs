@@ -1,6 +1,9 @@
 //! The 2Q cache replacement policy (Johnson & Shasha, VLDB '94).
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasher;
+
+use shhc_types::FingerprintBuildHasher;
 
 use crate::{Cache, CacheKey, CacheStats, LruCache};
 
@@ -22,15 +25,15 @@ use crate::{Cache, CacheKey, CacheStats, LruCache};
 /// assert!(c.peek(&1));
 /// ```
 #[derive(Debug, Clone)]
-pub struct TwoQCache<K, V> {
-    a1in: LruCache<K, V>,
+pub struct TwoQCache<K, V, S = FingerprintBuildHasher> {
+    a1in: LruCache<K, V, S>,
     /// Ghost keys (no values). `ghost_seq` orders them FIFO; stale deque
     /// entries are skipped lazily.
-    a1out: HashMap<K, u64>,
+    a1out: HashMap<K, u64, S>,
     ghost_fifo: VecDeque<(K, u64)>,
     ghost_cap: usize,
     next_seq: u64,
-    am: LruCache<K, V>,
+    am: LruCache<K, V, S>,
     stats: CacheStats,
 }
 
@@ -44,20 +47,34 @@ impl<K: CacheKey, V> TwoQCache<K, V> {
     /// Panics if `capacity < 4` (the split needs at least one slot per
     /// queue).
     pub fn new(capacity: usize) -> Self {
+        Self::with_hasher(capacity, FingerprintBuildHasher)
+    }
+}
+
+impl<K: CacheKey, V, S: BuildHasher + Clone> TwoQCache<K, V, S> {
+    /// Like [`TwoQCache::new`] with an explicit hash-state builder
+    /// (cloned into each of the three queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 4`.
+    pub fn with_hasher(capacity: usize, hasher: S) -> Self {
         assert!(capacity >= 4, "2Q needs capacity ≥ 4");
         let a1in_cap = (capacity / 4).max(1);
         let am_cap = capacity - a1in_cap;
         TwoQCache {
-            a1in: LruCache::new(a1in_cap),
-            a1out: HashMap::new(),
+            a1in: LruCache::with_hasher(a1in_cap, hasher.clone()),
+            a1out: HashMap::with_hasher(hasher.clone()),
             ghost_fifo: VecDeque::new(),
             ghost_cap: (capacity / 2).max(1),
             next_seq: 0,
-            am: LruCache::new(am_cap),
+            am: LruCache::with_hasher(am_cap, hasher),
             stats: CacheStats::default(),
         }
     }
+}
 
+impl<K: CacheKey, V, S: BuildHasher> TwoQCache<K, V, S> {
     fn ghost_insert(&mut self, key: K) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -95,7 +112,7 @@ impl<K: CacheKey, V> TwoQCache<K, V> {
     }
 }
 
-impl<K: CacheKey, V> Cache<K, V> for TwoQCache<K, V> {
+impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for TwoQCache<K, V, S> {
     fn get(&mut self, key: &K) -> Option<&V> {
         if self.am.peek(key) {
             self.stats.hits += 1;

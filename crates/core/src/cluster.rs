@@ -1,12 +1,28 @@
 //! The multi-threaded hash cluster.
+//!
+//! # Data plane
+//!
+//! Batch operations run as a two-phase **scatter-gather pipeline**
+//! ([`DataPlane::Pipelined`], the default): phase 1 routes the batch into
+//! per-replica-set groups and *sends* every group's frame to every
+//! replica up front (each request carries a fresh reply channel and a
+//! correlation id that is verified on receipt); phase 2 gathers all
+//! replies under one shared deadline and merges them. A batch spanning N
+//! nodes therefore costs ≈ max of the per-node service times instead of
+//! their sum — the property the paper's throughput-scaling claim
+//! (Figure 5) rests on. The pre-pipeline behaviour — one blocking
+//! exchange per replica at a time — is kept as
+//! [`DataPlane::Sequential`], both as the measured baseline for the
+//! wall-clock scaling bench and as a semantic reference (the equivalence
+//! tests drive both).
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use shhc_net::{decode, encode, Frame};
 use shhc_node::{HybridHashNode, NodeConfig};
@@ -14,6 +30,20 @@ use shhc_ring::{ConsistentHashRing, Partitioner};
 use shhc_types::{Error, Fingerprint, NodeId, Result, StreamId};
 
 use crate::server::{node_loop, ControlMsg, ControlReply, NodeRequest, NodeSnapshot};
+
+/// How the cluster services a batch across its replica groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlane {
+    /// Scatter-gather: send every group's request to every replica up
+    /// front, then gather all replies under a single deadline. Batch
+    /// latency tracks the slowest node, not the sum over nodes.
+    #[default]
+    Pipelined,
+    /// One blocking request-reply exchange per replica at a time. Kept
+    /// as the measured baseline (`ext_wallclock_scaling` bench) and as
+    /// the semantic reference for equivalence tests.
+    Sequential,
+}
 
 /// Configuration of a [`ShhcCluster`].
 #[derive(Debug, Clone)]
@@ -27,8 +57,12 @@ pub struct ClusterConfig {
     /// Number of replicas per fingerprint (1 = no replication).
     pub replication: usize,
     /// How long a client waits for a node's reply before declaring it
-    /// unavailable.
+    /// unavailable. Under [`DataPlane::Pipelined`] this bounds the
+    /// *whole* gather phase of a batch; under [`DataPlane::Sequential`]
+    /// each replica exchange gets the full timeout.
     pub request_timeout: Duration,
+    /// Batch servicing strategy.
+    pub data_plane: DataPlane,
 }
 
 impl ClusterConfig {
@@ -40,6 +74,7 @@ impl ClusterConfig {
             vnodes: 64,
             replication: 1,
             request_timeout: Duration::from_secs(30),
+            data_plane: DataPlane::Pipelined,
         }
     }
 
@@ -51,6 +86,12 @@ impl ClusterConfig {
     /// Sets the replication factor.
     pub fn with_replication(mut self, replication: usize) -> Self {
         self.replication = replication.max(1);
+        self
+    }
+
+    /// Sets the batch servicing strategy.
+    pub fn with_data_plane(mut self, data_plane: DataPlane) -> Self {
+        self.data_plane = data_plane;
         self
     }
 }
@@ -102,6 +143,32 @@ struct Inner {
     correlation: AtomicU64,
 }
 
+/// One slice of a batch bound for a single replica set: the fingerprints
+/// (moved, not cloned, into the outgoing frame) plus their positions in
+/// the caller's batch.
+struct RouteGroup {
+    /// The replica set, primary first (ring order).
+    replicas: Vec<NodeId>,
+    /// Positions in the original batch, in arrival order.
+    positions: Vec<usize>,
+    /// The group's fingerprints, parallel to `positions`. Drained by the
+    /// scatter phase.
+    fingerprints: Vec<Fingerprint>,
+}
+
+/// A reply owed by one replica: the receiver if the send succeeded, or
+/// the send-time failure (node down).
+struct PendingReply {
+    node: NodeId,
+    reply: Result<Receiver<Bytes>>,
+}
+
+/// All replies owed for one scattered group.
+struct PendingGroup {
+    correlation: u64,
+    replies: Vec<PendingReply>,
+}
+
 /// The scalable hybrid hash cluster: a set of node server threads behind
 /// consistent-hash routing — the paper's SHHC tier.
 ///
@@ -109,7 +176,8 @@ struct Inner {
 /// client threads can drive the cluster concurrently (each request gets
 /// its own reply channel).
 ///
-/// See the [crate docs](crate) for a quick-start example.
+/// See the [crate docs](crate) for a quick-start example and the
+/// [module docs](self) for the data-plane concurrency model.
 #[derive(Clone)]
 pub struct ShhcCluster {
     inner: Arc<Inner>,
@@ -120,6 +188,7 @@ impl std::fmt::Debug for ShhcCluster {
         f.debug_struct("ShhcCluster")
             .field("nodes", &self.inner.nodes.read().len())
             .field("replication", &self.inner.config.replication)
+            .field("data_plane", &self.inner.config.data_plane)
             .finish()
     }
 }
@@ -171,44 +240,97 @@ impl ShhcCluster {
         self.inner.correlation.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Sends a data-plane frame to `node` and awaits the decoded reply.
-    fn exchange(&self, node: NodeId, frame: &Frame) -> Result<Frame> {
-        let sender = {
-            let nodes = self.inner.nodes.read();
-            let slot = nodes
-                .get(node.index())
-                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
-            slot.sender
-                .clone()
-                .ok_or_else(|| Error::Unavailable(format!("{node} is down")))?
-        };
+    fn data_sender(&self, node: NodeId) -> Result<Sender<NodeRequest>> {
+        let nodes = self.inner.nodes.read();
+        let slot = nodes
+            .get(node.index())
+            .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+        slot.sender
+            .clone()
+            .ok_or_else(|| Error::Unavailable(format!("{node} is down")))
+    }
+
+    /// Ships an already-encoded frame to `node` without waiting, handing
+    /// back the reply channel — the scatter half of the pipeline.
+    fn send_data(&self, node: NodeId, frame: Bytes) -> Result<Receiver<Bytes>> {
+        let sender = self.data_sender(node)?;
         let (reply_tx, reply_rx) = unbounded();
         sender
             .send(NodeRequest::Data {
-                frame: encode(frame),
+                frame,
                 reply: reply_tx,
             })
             .map_err(|_| Error::Unavailable(format!("{node} is down")))?;
+        Ok(reply_rx)
+    }
+
+    /// Sends a data-plane frame to `node` and awaits the decoded reply
+    /// (used by control-ish flows like rebalancing where pipelining buys
+    /// nothing).
+    fn exchange(&self, node: NodeId, frame: &Frame) -> Result<Frame> {
+        self.exchange_encoded(node, frame.correlation(), encode(frame))
+    }
+
+    /// Blocking request-reply exchange over an already-encoded frame, so
+    /// loops over a group's replicas encode once and clone the refcounted
+    /// buffer (the sequential baseline's inner step).
+    fn exchange_encoded(&self, node: NodeId, correlation: u64, frame: Bytes) -> Result<Frame> {
+        let reply_rx = self.send_data(node, frame)?;
         let bytes = reply_rx
             .recv_timeout(self.inner.config.request_timeout)
             .map_err(|_| Error::Unavailable(format!("{node} did not reply")))?;
-        let reply = decode(&bytes)?;
-        if let Frame::Error { message, .. } = &reply {
-            return Err(Error::Io(format!("{node} failed: {message}")));
-        }
-        Ok(reply)
+        verify_reply(node, correlation, &bytes)
+    }
+
+    /// The gather half of the pipeline: awaits one replica's reply under
+    /// the shared deadline and verifies it.
+    fn gather_one(
+        &self,
+        pending: PendingReply,
+        correlation: u64,
+        deadline: Instant,
+    ) -> Result<Frame> {
+        let rx = pending.reply?;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let bytes = rx
+            .recv_timeout(remaining)
+            .map_err(|_| Error::Unavailable(format!("{} did not reply", pending.node)))?;
+        verify_reply(pending.node, correlation, &bytes)
+    }
+
+    /// Phase 1: encode each group's frame exactly once (fingerprints
+    /// moved, not cloned) and send it to every replica of the group.
+    fn scatter_frames(
+        &self,
+        groups: &mut [RouteGroup],
+        mut make_frame: impl FnMut(&mut RouteGroup, u64) -> Frame,
+    ) -> Vec<PendingGroup> {
+        groups
+            .iter_mut()
+            .map(|group| {
+                let correlation = self.next_correlation();
+                let frame = make_frame(group, correlation);
+                // One encode per group; replicas share the buffer via
+                // cheap refcounted clones.
+                let bytes = encode(&frame);
+                let replies = group
+                    .replicas
+                    .iter()
+                    .map(|&node| PendingReply {
+                        node,
+                        reply: self.send_data(node, bytes.clone()),
+                    })
+                    .collect();
+                PendingGroup {
+                    correlation,
+                    replies,
+                }
+            })
+            .collect()
     }
 
     fn control(&self, node: NodeId, msg: ControlMsg) -> Result<ControlReply> {
-        let sender = {
-            let nodes = self.inner.nodes.read();
-            let slot = nodes
-                .get(node.index())
-                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
-            slot.sender
-                .clone()
-                .ok_or_else(|| Error::Unavailable(format!("{node} is down")))?
-        };
+        let sender = self.data_sender(node)?;
         let (reply_tx, reply_rx) = unbounded();
         sender
             .send(NodeRequest::Control {
@@ -225,19 +347,47 @@ impl ShhcCluster {
         Ok(reply)
     }
 
-    /// Groups fingerprints (with their positions) by replica set.
-    fn group_by_replicas(
-        &self,
-        fps: &[Fingerprint],
-    ) -> BTreeMap<Vec<NodeId>, (Vec<usize>, Vec<Fingerprint>)> {
+    /// Groups fingerprints (with their positions) by replica set, indexed
+    /// through the primary node: with `replication = 1` (the common case)
+    /// each primary owns exactly one group, so routing costs one Vec
+    /// index per fingerprint — no tree map keyed by heap-allocated
+    /// replica vectors on the hot path.
+    fn group_by_replicas(&self, fps: &[Fingerprint]) -> Vec<RouteGroup> {
         let ring = self.inner.ring.read();
         let replication = self.inner.config.replication;
-        let mut groups: BTreeMap<Vec<NodeId>, (Vec<usize>, Vec<Fingerprint>)> = BTreeMap::new();
+        let mut groups: Vec<RouteGroup> = Vec::new();
+        // groups owned by primary p (more than one only when replication
+        // > 1 splits a primary's arcs across different successor sets).
+        let mut by_primary: Vec<Vec<usize>> = Vec::new();
+        let mut replicas: Vec<NodeId> = Vec::with_capacity(replication);
         for (i, fp) in fps.iter().enumerate() {
-            let replicas = ring.replicas(fp.route_key(), replication);
-            let entry = groups.entry(replicas).or_default();
-            entry.0.push(i);
-            entry.1.push(*fp);
+            ring.replicas_into(fp.route_key(), replication, &mut replicas);
+            let Some(primary) = replicas.first().map(|n| n.index()) else {
+                // Unreachable: spawn() requires at least one node and the
+                // ring never shrinks to zero.
+                continue;
+            };
+            if primary >= by_primary.len() {
+                by_primary.resize_with(primary + 1, Vec::new);
+            }
+            let found = by_primary[primary]
+                .iter()
+                .copied()
+                .find(|&g| groups[g].replicas == replicas);
+            let gi = match found {
+                Some(g) => g,
+                None => {
+                    groups.push(RouteGroup {
+                        replicas: replicas.clone(),
+                        positions: Vec::new(),
+                        fingerprints: Vec::new(),
+                    });
+                    by_primary[primary].push(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            groups[gi].positions.push(i);
+            groups[gi].fingerprints.push(*fp);
         }
         groups
     }
@@ -256,70 +406,64 @@ impl ShhcCluster {
     /// Like [`ShhcCluster::lookup_insert_batch`], also returning the
     /// stored value for each existing fingerprint (zero for new ones).
     ///
+    /// Answers are merged with OR semantics across a group's replicas: a
+    /// fingerprint exists if *any* replica knows it — so a cold-restarted
+    /// primary does not cause spurious re-uploads while its replicas
+    /// still remember the data. Values come from the first replica (ring
+    /// order) that reported the fingerprint present.
+    ///
     /// # Errors
     ///
     /// Same as [`ShhcCluster::lookup_insert_batch`].
     pub fn lookup_insert_batch_values(&self, fps: &[Fingerprint]) -> Result<(Vec<bool>, Vec<u64>)> {
         let mut exists = vec![false; fps.len()];
         let mut values = vec![0u64; fps.len()];
-        for (replicas, (positions, group)) in self.group_by_replicas(fps) {
-            let frame = Frame::LookupInsertReq {
-                correlation: self.next_correlation(),
-                stream: StreamId::new(0),
-                fingerprints: group.clone(),
-            };
-            // Fan out to every replica (they all insert). Answers are
-            // merged with OR semantics: a fingerprint exists if *any*
-            // replica knows it — so a cold-restarted primary does not
-            // cause spurious re-uploads while its replicas still remember
-            // the data. Values come from the first replica (ring order)
-            // that reported the fingerprint present.
-            let mut merged: Option<(Vec<bool>, Vec<u64>)> = None;
-            let mut last_err = None;
-            for &node in &replicas {
-                match self.exchange(node, &frame) {
-                    Ok(Frame::LookupResp {
-                        exists: e,
-                        values: v,
-                        ..
-                    }) => {
-                        let full = expand_values(&e, &v)?;
-                        match &mut merged {
-                            None => merged = Some((e, full)),
-                            Some((me, mv)) => {
-                                if e.len() != me.len() {
-                                    return Err(Error::Decode(
-                                        "replica replies disagree on batch size".into(),
-                                    ));
-                                }
-                                for i in 0..e.len() {
-                                    if e[i] && !me[i] {
-                                        me[i] = true;
-                                        mv[i] = full[i];
-                                    }
-                                }
-                            }
+        let mut groups = self.group_by_replicas(fps);
+        let make = |g: &mut RouteGroup, correlation: u64| Frame::LookupInsertReq {
+            correlation,
+            stream: StreamId::new(0),
+            fingerprints: std::mem::take(&mut g.fingerprints),
+        };
+        match self.inner.config.data_plane {
+            DataPlane::Pipelined => {
+                let pending = self.scatter_frames(&mut groups, make);
+                let deadline = Instant::now() + self.inner.config.request_timeout;
+                for (group, sent) in groups.iter().zip(pending) {
+                    let mut merged = None;
+                    let mut last_err = None;
+                    for p in sent.replies {
+                        match self.gather_one(p, sent.correlation, deadline) {
+                            Ok(Frame::LookupResp {
+                                exists: e,
+                                values: v,
+                                ..
+                            }) => merge_or(&mut merged, e, v)?,
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
                         }
                     }
-                    Ok(other) => {
-                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")));
-                    }
-                    Err(e) => last_err = Some(e),
+                    apply_merged(group, merged, last_err, &mut exists, &mut values)?;
                 }
             }
-            let (e, full_values) = merged.ok_or_else(|| {
-                last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
-            })?;
-            if e.len() != positions.len() {
-                return Err(Error::Decode(format!(
-                    "reply covers {} fingerprints, expected {}",
-                    e.len(),
-                    positions.len()
-                )));
-            }
-            for (k, &pos) in positions.iter().enumerate() {
-                exists[pos] = e[k];
-                values[pos] = full_values[k];
+            DataPlane::Sequential => {
+                for group in &mut groups {
+                    let correlation = self.next_correlation();
+                    let bytes = encode(&make(group, correlation));
+                    let mut merged = None;
+                    let mut last_err = None;
+                    for &node in &group.replicas {
+                        match self.exchange_encoded(node, correlation, bytes.clone()) {
+                            Ok(Frame::LookupResp {
+                                exists: e,
+                                values: v,
+                                ..
+                            }) => merge_or(&mut merged, e, v)?,
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    apply_merged(group, merged, last_err, &mut exists, &mut values)?;
+                }
             }
         }
         Ok((exists, values))
@@ -327,40 +471,129 @@ impl ShhcCluster {
 
     /// Read-only batched existence query (no insertion on miss).
     ///
+    /// The answer for a group comes from the first replica (ring order)
+    /// that replies successfully. Queries scatter only to each group's
+    /// *primary* — fanning a read to every replica would multiply
+    /// node-side work by the replication factor just to drop the extra
+    /// replies; the rare primary failure falls back to the remaining
+    /// replicas one at a time.
+    ///
     /// # Errors
     ///
     /// Same availability semantics as lookups.
     pub fn query_batch(&self, fps: &[Fingerprint]) -> Result<Vec<bool>> {
         let mut exists = vec![false; fps.len()];
         let mut values = vec![0u64; fps.len()];
-        for (replicas, (positions, group)) in self.group_by_replicas(fps) {
-            let frame = Frame::QueryReq {
-                correlation: self.next_correlation(),
-                fingerprints: group.clone(),
-            };
-            let mut answered = false;
-            let mut last_err = None;
-            for &node in &replicas {
-                match self.exchange(node, &frame) {
-                    Ok(Frame::LookupResp {
-                        exists: e,
-                        values: v,
-                        ..
-                    }) => {
-                        scatter(&positions, &e, &v, &mut exists, &mut values)?;
-                        answered = true;
-                        break;
+        let mut groups = self.group_by_replicas(fps);
+        let make = |g: &mut RouteGroup, correlation: u64| Frame::QueryReq {
+            correlation,
+            fingerprints: std::mem::take(&mut g.fingerprints),
+        };
+        match self.inner.config.data_plane {
+            DataPlane::Pipelined => {
+                // Phase 1: one request per group, to the primary only;
+                // keep the encoded frame around for the failure fallback.
+                let pending: Vec<(u64, Bytes, PendingReply)> = groups
+                    .iter_mut()
+                    .map(|group| {
+                        let correlation = self.next_correlation();
+                        let bytes = encode(&make(group, correlation));
+                        let primary = group.replicas[0];
+                        let reply = self.send_data(primary, bytes.clone());
+                        (
+                            correlation,
+                            bytes,
+                            PendingReply {
+                                node: primary,
+                                reply,
+                            },
+                        )
+                    })
+                    .collect();
+                // Phase 2: gather; a failed primary falls back to the
+                // remaining replicas in ring order.
+                let deadline = Instant::now() + self.inner.config.request_timeout;
+                for (group, (correlation, bytes, primary)) in groups.iter().zip(pending) {
+                    let mut last_err = None;
+                    let mut answered = match self.gather_one(primary, correlation, deadline) {
+                        Ok(Frame::LookupResp {
+                            exists: e,
+                            values: v,
+                            ..
+                        }) => {
+                            scatter_positions(&group.positions, &e, &v, &mut exists, &mut values)?;
+                            true
+                        }
+                        Ok(other) => {
+                            last_err = Some(unexpected(other));
+                            false
+                        }
+                        Err(e) => {
+                            last_err = Some(e);
+                            false
+                        }
+                    };
+                    for &node in group.replicas.iter().skip(1) {
+                        if answered {
+                            break;
+                        }
+                        match self.exchange_encoded(node, correlation, bytes.clone()) {
+                            Ok(Frame::LookupResp {
+                                exists: e,
+                                values: v,
+                                ..
+                            }) => {
+                                scatter_positions(
+                                    &group.positions,
+                                    &e,
+                                    &v,
+                                    &mut exists,
+                                    &mut values,
+                                )?;
+                                answered = true;
+                            }
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
+                        }
                     }
-                    Ok(other) => {
-                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
+                    if !answered {
+                        return Err(last_err
+                            .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
                     }
-                    Err(e) => last_err = Some(e),
                 }
             }
-            if !answered {
-                return Err(
-                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
-                );
+            DataPlane::Sequential => {
+                for group in &mut groups {
+                    let correlation = self.next_correlation();
+                    let bytes = encode(&make(group, correlation));
+                    let mut answered = false;
+                    let mut last_err = None;
+                    for &node in &group.replicas {
+                        match self.exchange_encoded(node, correlation, bytes.clone()) {
+                            Ok(Frame::LookupResp {
+                                exists: e,
+                                values: v,
+                                ..
+                            }) => {
+                                scatter_positions(
+                                    &group.positions,
+                                    &e,
+                                    &v,
+                                    &mut exists,
+                                    &mut values,
+                                )?;
+                                answered = true;
+                                break;
+                            }
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    if !answered {
+                        return Err(last_err
+                            .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                    }
+                }
             }
         }
         Ok(exists)
@@ -374,31 +607,15 @@ impl ShhcCluster {
     /// Same availability semantics as lookups.
     pub fn record_batch(&self, pairs: &[(Fingerprint, u64)]) -> Result<()> {
         let fps: Vec<Fingerprint> = pairs.iter().map(|(fp, _)| *fp).collect();
-        for (replicas, (positions, _)) in self.group_by_replicas(&fps) {
-            let group_pairs: Vec<(Fingerprint, u64)> =
-                positions.iter().map(|&i| pairs[i]).collect();
-            let frame = Frame::RecordReq {
-                correlation: self.next_correlation(),
-                pairs: group_pairs,
-            };
-            let mut any_ok = false;
-            let mut last_err = None;
-            for &node in &replicas {
-                match self.exchange(node, &frame) {
-                    Ok(Frame::Ack { .. }) => any_ok = true,
-                    Ok(other) => {
-                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
-                    }
-                    Err(e) => last_err = Some(e),
-                }
+        let mut groups = self.group_by_replicas(&fps);
+        let make = |g: &mut RouteGroup, correlation: u64| {
+            g.fingerprints.clear();
+            Frame::RecordReq {
+                correlation,
+                pairs: g.positions.iter().map(|&i| pairs[i]).collect(),
             }
-            if !any_ok {
-                return Err(
-                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
-                );
-            }
-        }
-        Ok(())
+        };
+        self.acked_fanout(&mut groups, make)
     }
 
     /// Removes fingerprints from the cluster (fan-out to all replicas) —
@@ -412,26 +629,60 @@ impl ShhcCluster {
     ///
     /// Same availability semantics as lookups.
     pub fn remove_batch(&self, fps: &[Fingerprint]) -> Result<()> {
-        for (replicas, (_positions, group)) in self.group_by_replicas(fps) {
-            let frame = Frame::RemoveReq {
-                correlation: self.next_correlation(),
-                fingerprints: group,
-            };
-            let mut any_ok = false;
-            let mut last_err = None;
-            for &node in &replicas {
-                match self.exchange(node, &frame) {
-                    Ok(Frame::Ack { .. }) => any_ok = true,
-                    Ok(other) => {
-                        last_err = Some(Error::Decode(format!("unexpected reply {other:?}")))
+        let mut groups = self.group_by_replicas(fps);
+        let make = |g: &mut RouteGroup, correlation: u64| Frame::RemoveReq {
+            correlation,
+            fingerprints: std::mem::take(&mut g.fingerprints),
+        };
+        self.acked_fanout(&mut groups, make)
+    }
+
+    /// Shared driver for ack-answered fan-out operations (record,
+    /// remove): every replica gets the frame; a group succeeds if any
+    /// replica acknowledges.
+    fn acked_fanout(
+        &self,
+        groups: &mut [RouteGroup],
+        mut make_frame: impl FnMut(&mut RouteGroup, u64) -> Frame,
+    ) -> Result<()> {
+        match self.inner.config.data_plane {
+            DataPlane::Pipelined => {
+                let pending = self.scatter_frames(groups, make_frame);
+                let deadline = Instant::now() + self.inner.config.request_timeout;
+                for sent in pending {
+                    let mut any_ok = false;
+                    let mut last_err = None;
+                    for p in sent.replies {
+                        match self.gather_one(p, sent.correlation, deadline) {
+                            Ok(Frame::Ack { .. }) => any_ok = true,
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
+                        }
                     }
-                    Err(e) => last_err = Some(e),
+                    if !any_ok {
+                        return Err(last_err
+                            .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                    }
                 }
             }
-            if !any_ok {
-                return Err(
-                    last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
-                );
+            DataPlane::Sequential => {
+                for group in groups.iter_mut() {
+                    let correlation = self.next_correlation();
+                    let bytes = encode(&make_frame(group, correlation));
+                    let mut any_ok = false;
+                    let mut last_err = None;
+                    for &node in &group.replicas {
+                        match self.exchange_encoded(node, correlation, bytes.clone()) {
+                            Ok(Frame::Ack { .. }) => any_ok = true,
+                            Ok(other) => last_err = Some(unexpected(other)),
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    if !any_ok {
+                        return Err(last_err
+                            .unwrap_or_else(|| Error::Unavailable("no replica answered".into())));
+                    }
+                }
             }
         }
         Ok(())
@@ -586,8 +837,8 @@ impl ShhcCluster {
                     pairs: moving,
                 },
             )?;
-            self.control(old, ControlMsg::RemoveBatch(fps.clone()))?;
             report.moved += fps.len() as u64;
+            self.control(old, ControlMsg::RemoveBatch(fps))?;
         }
 
         *self.inner.ring.write() = new_ring;
@@ -630,6 +881,80 @@ fn spawn_node(id: NodeId, config: NodeConfig) -> Result<NodeSlot> {
     })
 }
 
+/// Decodes and validates one reply from `node`: error frames surface as
+/// [`Error::Io`], and a correlation id that does not match the request is
+/// rejected — a stale reply from an earlier, timed-out request must not
+/// be attributed to this one.
+fn verify_reply(node: NodeId, correlation: u64, bytes: &[u8]) -> Result<Frame> {
+    let reply = decode(bytes)?;
+    if let Frame::Error { message, .. } = &reply {
+        return Err(Error::Io(format!("{node} failed: {message}")));
+    }
+    if reply.correlation() != correlation {
+        return Err(Error::Decode(format!(
+            "{node} answered correlation {} to request {correlation}; stale reply rejected",
+            reply.correlation()
+        )));
+    }
+    Ok(reply)
+}
+
+fn unexpected(frame: Frame) -> Error {
+    Error::Decode(format!("unexpected reply {frame:?}"))
+}
+
+/// Folds one replica's lookup reply into the group's OR-merged answer.
+fn merge_or(
+    merged: &mut Option<(Vec<bool>, Vec<u64>)>,
+    exists: Vec<bool>,
+    values: Vec<u64>,
+) -> Result<()> {
+    let full = expand_values(&exists, &values)?;
+    match merged {
+        None => *merged = Some((exists, full)),
+        Some((me, mv)) => {
+            if exists.len() != me.len() {
+                return Err(Error::Decode(
+                    "replica replies disagree on batch size".into(),
+                ));
+            }
+            for i in 0..exists.len() {
+                if exists[i] && !me[i] {
+                    me[i] = true;
+                    mv[i] = full[i];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a group's merged answer back into the batch-wide result
+/// vectors, or surfaces the best error when no replica answered.
+fn apply_merged(
+    group: &RouteGroup,
+    merged: Option<(Vec<bool>, Vec<u64>)>,
+    last_err: Option<Error>,
+    exists: &mut [bool],
+    values: &mut [u64],
+) -> Result<()> {
+    let (e, full_values) = merged.ok_or_else(|| {
+        last_err.unwrap_or_else(|| Error::Unavailable("no replica answered".into()))
+    })?;
+    if e.len() != group.positions.len() {
+        return Err(Error::Decode(format!(
+            "reply covers {} fingerprints, expected {}",
+            e.len(),
+            group.positions.len()
+        )));
+    }
+    for (k, &pos) in group.positions.iter().enumerate() {
+        exists[pos] = e[k];
+        values[pos] = full_values[k];
+    }
+    Ok(())
+}
+
 /// Expands a compact values list (one per hit) into a full-length vector
 /// parallel to `exists` (zero for misses).
 fn expand_values(exists: &[bool], values: &[u64]) -> Result<Vec<u64>> {
@@ -646,7 +971,7 @@ fn expand_values(exists: &[bool], values: &[u64]) -> Result<Vec<u64>> {
 }
 
 /// Distributes a group reply back into the full-batch result vectors.
-fn scatter(
+fn scatter_positions(
     positions: &[usize],
     exists: &[bool],
     values: &[u64],
@@ -675,6 +1000,7 @@ fn scatter(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shhc_net::encode;
 
     fn fps(range: std::ops::Range<u64>) -> Vec<Fingerprint> {
         // Spread test keys uniformly over the ring, as real SHA-1
@@ -810,5 +1136,152 @@ mod tests {
     #[test]
     fn zero_nodes_rejected() {
         assert!(ShhcCluster::spawn(ClusterConfig::small_test(0)).is_err());
+    }
+
+    #[test]
+    fn stale_correlation_rejected() {
+        // A reply carrying the wrong correlation id must not be
+        // attributed to the request, whatever its payload claims.
+        let stale = encode(&Frame::LookupResp {
+            correlation: 41,
+            exists: vec![true],
+            values: vec![7],
+        });
+        let err = verify_reply(NodeId::new(0), 42, &stale).unwrap_err();
+        assert!(
+            matches!(err, Error::Decode(ref m) if m.contains("stale")),
+            "{err}"
+        );
+        // The matching correlation passes.
+        let fresh = encode(&Frame::Ack { correlation: 42 });
+        assert_eq!(
+            verify_reply(NodeId::new(0), 42, &fresh).unwrap(),
+            Frame::Ack { correlation: 42 }
+        );
+        // Error frames surface as node failures regardless of id.
+        let failure = encode(&Frame::Error {
+            correlation: 42,
+            message: "boom".into(),
+        });
+        assert!(matches!(
+            verify_reply(NodeId::new(0), 42, &failure).unwrap_err(),
+            Error::Io(_)
+        ));
+    }
+
+    /// Spawns a pair of clusters differing only in data plane, runs `ops`
+    /// against both, and asserts identical observable behaviour.
+    fn assert_equivalent(replication: usize, kill: Option<NodeId>) {
+        let spawn = |plane: DataPlane| {
+            ShhcCluster::spawn(
+                ClusterConfig::small_test(4)
+                    .with_replication(replication)
+                    .with_data_plane(plane),
+            )
+            .unwrap()
+        };
+        let pipelined = spawn(DataPlane::Pipelined);
+        let sequential = spawn(DataPlane::Sequential);
+        let batch_a = fps(0..300);
+        let batch_b = fps(150..450); // overlaps A: half dups, half new
+
+        for cluster in [&pipelined, &sequential] {
+            let first = cluster.lookup_insert_batch(&batch_a).unwrap();
+            assert!(first.iter().all(|e| !e));
+            let pairs: Vec<(Fingerprint, u64)> = batch_a
+                .iter()
+                .enumerate()
+                .map(|(i, fp)| (*fp, 5000 + i as u64))
+                .collect();
+            cluster.record_batch(&pairs).unwrap();
+        }
+        let a = pipelined.lookup_insert_batch_values(&batch_b).unwrap();
+        let b = sequential.lookup_insert_batch_values(&batch_b).unwrap();
+        assert_eq!(a, b, "lookup-insert answers diverge");
+
+        let removed: Vec<Fingerprint> = batch_a[..50].to_vec();
+        for cluster in [&pipelined, &sequential] {
+            cluster.remove_batch(&removed).unwrap();
+        }
+        assert_eq!(
+            pipelined.query_batch(&batch_a).unwrap(),
+            sequential.query_batch(&batch_a).unwrap(),
+            "query answers diverge after removal"
+        );
+
+        if let Some(node) = kill {
+            pipelined.kill_node(node).unwrap();
+            sequential.kill_node(node).unwrap();
+            let p = pipelined.lookup_insert_batch(&batch_a);
+            let s = sequential.lookup_insert_batch(&batch_a);
+            match (p, s) {
+                (Ok(pe), Ok(se)) => assert_eq!(pe, se, "post-crash answers diverge"),
+                (Err(Error::Unavailable(_)), Err(Error::Unavailable(_))) => {}
+                (p, s) => panic!("post-crash outcomes diverge: {p:?} vs {s:?}"),
+            }
+        }
+        pipelined.shutdown().unwrap();
+        sequential.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_equals_sequential() {
+        assert_equivalent(1, None);
+    }
+
+    #[test]
+    fn pipelined_equals_sequential_with_replication_and_crash() {
+        assert_equivalent(2, Some(NodeId::new(1)));
+        // Without replication a crash makes some groups unavailable in
+        // both planes.
+        assert_equivalent(1, Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn slow_replicas_batch_tracks_max_not_sum() {
+        // Each fingerprint costs 1 ms of real service time on its node.
+        // A 100-fingerprint batch therefore represents 100 ms of total
+        // service; spread over 4 nodes the pipelined plane must finish in
+        // ≈ the largest per-node share (~25-40 ms), while the sequential
+        // baseline pays the full sum.
+        let delay = Duration::from_millis(1);
+        let batch = fps(0..100);
+        let mut node_config = NodeConfig::small_test();
+        node_config.service_delay = delay;
+        let sum = delay * batch.len() as u32;
+
+        let run = |plane: DataPlane| {
+            let cluster = ShhcCluster::spawn(
+                ClusterConfig::new(4, node_config.clone()).with_data_plane(plane),
+            )
+            .unwrap();
+            let start = Instant::now();
+            cluster.lookup_insert_batch(&batch).unwrap();
+            let elapsed = start.elapsed();
+            let stats = cluster.stats().unwrap();
+            assert!(
+                stats.nodes.iter().all(|n| n.entries > 0),
+                "batch must span all 4 nodes for the max-vs-sum claim"
+            );
+            cluster.shutdown().unwrap();
+            elapsed
+        };
+
+        let pipelined = run(DataPlane::Pipelined);
+        let sequential = run(DataPlane::Sequential);
+        assert!(
+            sequential >= sum,
+            "sequential plane must pay the sum of service times \
+             ({sequential:?} < {sum:?})"
+        );
+        // Compare the two measured planes rather than an absolute wall
+        // clock: scheduling jitter and sleep overshoot hit both runs, so
+        // the ratio is robust on loaded CI machines. Ideal ratio here is
+        // ~4x (4 roughly even groups); 2x leaves ample margin.
+        assert!(
+            pipelined * 2 < sequential,
+            "pipelined plane must track max, not sum, of per-node service \
+             times (took {pipelined:?} vs {sequential:?} sequential)"
+        );
     }
 }

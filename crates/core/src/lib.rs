@@ -48,7 +48,7 @@ mod service;
 mod simcluster;
 
 pub use client::{BackupClient, FileEntry, Snapshot, SnapshotReport};
-pub use cluster::{ClusterConfig, ClusterStats, RebalanceReport, ShhcCluster};
+pub use cluster::{ClusterConfig, ClusterStats, DataPlane, RebalanceReport, ShhcCluster};
 pub use frontend::Frontend;
 pub use server::NodeSnapshot;
 pub use service::{BackupReport, BackupService, DeleteReport};

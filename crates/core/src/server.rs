@@ -120,6 +120,18 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
     }
 }
 
+/// Number of per-record operations a data-plane frame asks for — the
+/// unit the artificial wall-clock service delay is charged in.
+fn ops_in(frame: &Frame) -> u32 {
+    match frame {
+        Frame::LookupInsertReq { fingerprints, .. }
+        | Frame::QueryReq { fingerprints, .. }
+        | Frame::RemoveReq { fingerprints, .. } => fingerprints.len() as u32,
+        Frame::RecordReq { pairs, .. } => pairs.len() as u32,
+        _ => 0,
+    }
+}
+
 /// Decodes, executes and answers one data-plane frame.
 fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
     let decoded = match decode(frame) {
@@ -131,6 +143,17 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
             }
         }
     };
+    // Artificial wall-clock service time (zero in production configs):
+    // blocks this node's server thread exactly as a slow device would,
+    // so wall-clock benches and slow-replica tests see real per-node
+    // service times.
+    let delay = node.config().service_delay;
+    if !delay.is_zero() {
+        let ops = ops_in(&decoded);
+        if ops > 0 {
+            std::thread::sleep(delay * ops);
+        }
+    }
     let correlation = decoded.correlation();
     match decoded {
         Frame::LookupInsertReq { fingerprints, .. } => {

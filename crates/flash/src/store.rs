@@ -1,8 +1,6 @@
 //! The persistent on-SSD fingerprint table (Berkeley-DB substitute).
 
-use std::collections::HashMap;
-
-use shhc_types::{Error, Fingerprint, Nanos, Result, FINGERPRINT_LEN};
+use shhc_types::{Error, Fingerprint, FpHashMap, Nanos, Result, FINGERPRINT_LEN};
 
 use crate::{DeviceStats, FlashDevice, FlashGeometry, FlashLatency, Ftl, FtlStats};
 
@@ -137,8 +135,10 @@ pub struct FlashStore {
     ftl: Ftl,
     config: FlashConfig,
     buckets: Vec<Bucket>,
-    /// Pending writes: `Some(v)` = put, `None` = tombstone.
-    write_buffer: HashMap<Fingerprint, Option<u64>>,
+    /// Pending writes: `Some(v)` = put, `None` = tombstone. Keyed with
+    /// the fingerprint-aware hasher — this map sits on every lookup and
+    /// insert.
+    write_buffer: FpHashMap<Fingerprint, Option<u64>>,
     next_lpa: u64,
     /// Logical pages freed by compaction, available for reuse.
     free_lpas: Vec<u64>,
@@ -174,7 +174,7 @@ impl FlashStore {
         Ok(FlashStore {
             ftl,
             buckets: vec![Bucket::default(); config.buckets],
-            write_buffer: HashMap::new(),
+            write_buffer: FpHashMap::default(),
             next_lpa: 0,
             free_lpas: Vec::new(),
             records_per_page,
@@ -459,7 +459,7 @@ impl FlashStore {
         // Read the whole chain, newest-wins per fingerprint, tombstones
         // drop (nothing older than the chain can resurrect them).
         let chain = self.buckets[bucket_idx].pages.clone();
-        let mut newest: HashMap<Fingerprint, Option<u64>> = HashMap::new();
+        let mut newest: FpHashMap<Fingerprint, Option<u64>> = FpHashMap::default();
         let mut order: Vec<Fingerprint> = Vec::new();
         for &lpa in &chain {
             let (data, _) = self.ftl.read(lpa)?;
@@ -507,7 +507,7 @@ impl FlashStore {
     ///
     /// Propagates device/FTL read errors.
     pub fn scan(&mut self) -> Result<Vec<(Fingerprint, u64)>> {
-        let mut newest: HashMap<Fingerprint, Option<u64>> = HashMap::new();
+        let mut newest: FpHashMap<Fingerprint, Option<u64>> = FpHashMap::default();
         // Flash pages oldest-first; later writes overwrite earlier ones.
         let all_pages: Vec<u64> = self
             .buckets
@@ -630,6 +630,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
 
     fn store() -> FlashStore {
         FlashStore::new(FlashConfig::small_test()).expect("valid config")

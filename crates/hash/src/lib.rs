@@ -41,6 +41,10 @@ pub use rabin::{is_irreducible, RabinHasher, RabinTables, DEFAULT_IRREDUCIBLE_PO
 pub use sha1::{Digest, Sha1};
 pub use xxh::xxh64;
 
+// The fingerprint-aware `std::hash` plumbing lives in `shhc-types` (next
+// to `Fingerprint` itself) but belongs to this crate's vocabulary too.
+pub use shhc_types::{FingerprintBuildHasher, FingerprintHasher, FpHashMap, FpHashSet};
+
 use shhc_types::Fingerprint;
 
 /// Computes the SHA-1 fingerprint of a chunk of data.

@@ -40,4 +40,6 @@ mod wire;
 pub use batch::{Batch, Batcher};
 pub use model::NetModel;
 pub use transport::{duplex, ChannelTransport, TransportStats};
-pub use wire::{decode, encode, encoded_len, lookup_req_len, lookup_resp_len, Frame, WIRE_VERSION};
+pub use wire::{
+    decode, encode, encode_into, encoded_len, lookup_req_len, lookup_resp_len, Frame, WIRE_VERSION,
+};

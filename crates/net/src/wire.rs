@@ -110,6 +110,19 @@ impl Frame {
 /// The length prefix counts everything after itself.
 pub fn encode(frame: &Frame) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_len(frame));
+    encode_into(frame, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a frame into `buf`, clearing it first and reusing its
+/// allocation — for callers that keep a scratch buffer across frames
+/// (codec benches, byte-oriented transports). The in-process cluster
+/// transport carries refcounted [`Bytes`], so its hot path instead
+/// encodes once per replica group and shares the buffer via
+/// `Bytes::clone`.
+pub fn encode_into(frame: &Frame, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(encoded_len(frame));
     buf.put_u32_le(0); // patched below
     buf.put_u8(WIRE_VERSION);
     match frame {
@@ -214,7 +227,6 @@ pub fn encode(frame: &Frame) -> Bytes {
     }
     let len = (buf.len() - 4) as u32;
     buf[..4].copy_from_slice(&len.to_le_bytes());
-    buf.freeze()
 }
 
 /// Exact encoded size of a frame in bytes (including the length prefix) —
@@ -446,6 +458,16 @@ mod tests {
     fn encoded_len_is_exact() {
         for frame in sample_frames() {
             assert_eq!(encode(&frame).len(), encoded_len(&frame), "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer_across_frames() {
+        let mut buf = BytesMut::new();
+        for frame in sample_frames() {
+            encode_into(&frame, &mut buf);
+            assert_eq!(&buf[..], &encode(&frame)[..], "{frame:?}");
+            assert_eq!(decode(&buf).expect("decode"), frame);
         }
     }
 

@@ -37,6 +37,12 @@ pub struct NodeConfig {
     pub cpu_per_op: Nanos,
     /// RAM access time for one cache/bloom probe round.
     pub ram_probe: Nanos,
+    /// Artificial *wall-clock* service time per fingerprint in a
+    /// data-plane request (zero in production configs). Unlike the
+    /// virtual-time costs above, the node server thread really sleeps
+    /// for this long, making per-node service time visible to wall-clock
+    /// scaling benches and slow-replica concurrency tests.
+    pub service_delay: std::time::Duration,
 }
 
 impl NodeConfig {
@@ -52,6 +58,7 @@ impl NodeConfig {
             flash: FlashConfig::default_node(),
             cpu_per_op: Nanos::from_micros(20),
             ram_probe: Nanos::new(500),
+            service_delay: std::time::Duration::ZERO,
         }
     }
 
@@ -66,6 +73,7 @@ impl NodeConfig {
             flash: FlashConfig::small_test(),
             cpu_per_op: Nanos::from_micros(1),
             ram_probe: Nanos::new(100),
+            service_delay: std::time::Duration::ZERO,
         }
     }
 }

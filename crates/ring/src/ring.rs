@@ -114,8 +114,17 @@ impl ConsistentHashRing {
     /// when the cluster is smaller than `n`.
     pub fn replicas(&self, key: u64, n: usize) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(n);
+        self.replicas_into(key, n, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ConsistentHashRing::replicas`]:
+    /// clears `out` and fills it with the replica set, reusing its
+    /// capacity. Hot-path routing loops call this once per fingerprint.
+    pub fn replicas_into(&self, key: u64, n: usize, out: &mut Vec<NodeId>) {
+        out.clear();
         if self.points.is_empty() {
-            return out;
+            return;
         }
         for (_, node) in self.points.range(key..).chain(self.points.iter()) {
             if !out.contains(node) {
@@ -125,7 +134,6 @@ impl ConsistentHashRing {
                 }
             }
         }
-        out
     }
 
     /// Fraction of the key space owned by each node, estimated from the

@@ -1,12 +1,11 @@
 //! File-backed container store.
 
-use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use shhc_hash::fingerprint_of;
-use shhc_types::{ChunkId, Error, Fingerprint, Result, FINGERPRINT_LEN};
+use shhc_types::{ChunkId, Error, Fingerprint, FpHashMap, Result, FINGERPRINT_LEN};
 
 use crate::{ChunkStore, StoreStats};
 
@@ -44,7 +43,7 @@ pub struct FileChunkStore {
     container_capacity: u64,
     open_container: u32,
     open_bytes: u64,
-    index: HashMap<ChunkId, IndexEntry>,
+    index: FpHashMap<ChunkId, IndexEntry>,
     next_slot: u32,
     stats: StoreStats,
 }
@@ -82,7 +81,7 @@ impl FileChunkStore {
             container_capacity,
             open_container: 0,
             open_bytes: 0,
-            index: HashMap::new(),
+            index: FpHashMap::default(),
             next_slot: 0,
             stats: StoreStats::default(),
         };

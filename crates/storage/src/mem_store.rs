@@ -1,9 +1,7 @@
 //! In-memory container store.
 
-use std::collections::HashMap;
-
 use shhc_hash::fingerprint_of;
-use shhc_types::{ChunkId, Error, Fingerprint, Result};
+use shhc_types::{ChunkId, Error, Fingerprint, FpHashMap, Result};
 
 use crate::{ChunkStore, StoreStats};
 
@@ -36,7 +34,7 @@ pub struct MemChunkStore {
     open_bytes: u64,
     /// Live (referenced) chunks per container, for reclamation.
     live_per_container: Vec<u32>,
-    index: HashMap<ChunkId, ()>,
+    index: FpHashMap<ChunkId, ()>,
     stats: StoreStats,
 }
 
@@ -63,7 +61,7 @@ impl MemChunkStore {
             containers: vec![Vec::new()],
             open_bytes: 0,
             live_per_container: vec![0],
-            index: HashMap::new(),
+            index: FpHashMap::default(),
             stats: StoreStats {
                 containers: 1,
                 ..StoreStats::default()

@@ -21,12 +21,14 @@
 
 mod error;
 mod fingerprint;
+mod fphash;
 mod ids;
 mod size;
 mod time;
 
 pub use error::{Error, Result};
 pub use fingerprint::{Fingerprint, ParseFingerprintError, FINGERPRINT_LEN};
+pub use fphash::{FingerprintBuildHasher, FingerprintHasher, FpHashMap, FpHashSet};
 pub use ids::{ChunkId, ClientId, NodeId, StreamId};
 pub use size::{ByteSize, GIB, KIB, MIB};
 pub use time::Nanos;
