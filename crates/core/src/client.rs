@@ -67,6 +67,13 @@ pub struct SnapshotReport {
 
 /// An incremental backup client for [`Dataset`] file trees.
 ///
+/// This is the *session* half of the session-split: the client owns the
+/// per-session change-detection state (`previous`), while the wrapped
+/// [`BackupService`] is a cloneable shared handle — spawn one
+/// `BackupClient` per thread over clones of one service and N clients
+/// snapshot concurrently against one cluster + chunk store, their
+/// fingerprint lookups aggregating in the shared front-end.
+///
 /// # Examples
 ///
 /// ```

@@ -8,8 +8,14 @@
 //!   hybrid hash node, wire-format RPC, consistent-hash routing, optional
 //!   replication with failover, and online rebalancing on membership
 //!   change,
-//! - [`Frontend`] — the web-front-end role: batches client fingerprints
-//!   before shipping them to hash nodes,
+//! - [`SharedFrontend`] — the web-front-end role of the paper's Figure 4:
+//!   one cross-client batch queue many client threads submit to, each
+//!   submission receiving a completion [`Ticket`](shhc_net::Ticket);
+//!   batches close on size, on age (background flusher thread) or on
+//!   flush, and one cluster round-trip answers every ticket,
+//! - [`Frontend`] — the per-session facade over a shared front-end
+//!   (legacy single-client API preserved); [`SyncFrontend`] keeps the
+//!   pre-refactor submit-driven behaviour as a measured baseline,
 //! - [`BackupService`] — the end-to-end backup path: chunking →
 //!   fingerprint lookup → chunk storage → manifest, plus verified
 //!   restore,
@@ -45,14 +51,20 @@ mod frontend;
 pub mod motivation;
 mod server;
 mod service;
+mod shared_frontend;
 mod simcluster;
 
 pub use client::{BackupClient, FileEntry, Snapshot, SnapshotReport};
 pub use cluster::{ClusterConfig, ClusterStats, DataPlane, RebalanceReport, ShhcCluster};
-pub use frontend::Frontend;
+pub use frontend::{Frontend, SyncFrontend};
 pub use server::NodeSnapshot;
 pub use service::{BackupReport, BackupService, DeleteReport};
+pub use shared_frontend::{LookupAnswer, SharedFrontend};
 pub use simcluster::{SimCluster, SimClusterConfig, SimReport};
+
+// The ticket/stats types a SharedFrontend user needs, re-exported from
+// the net layer so `shhc` stays a single-dependency facade.
+pub use shhc_net::{SharedBatcherStats, Ticket};
 
 // Re-export the substrate APIs a downstream user needs alongside the
 // cluster, so `shhc` works as a single-dependency facade.
@@ -62,8 +74,8 @@ pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Resul
 /// Commonly used imports for applications built on SHHC.
 pub mod prelude {
     pub use crate::{
-        BackupReport, BackupService, ClusterConfig, Frontend, ShhcCluster, SimCluster,
-        SimClusterConfig,
+        BackupReport, BackupService, ClusterConfig, Frontend, SharedFrontend, ShhcCluster,
+        SimCluster, SimClusterConfig,
     };
     pub use shhc_chunking::{Chunker, FixedChunker, GearChunker, RabinChunker};
     pub use shhc_node::{HybridHashNode, NodeConfig};

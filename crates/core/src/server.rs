@@ -146,12 +146,18 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
     // Artificial wall-clock service time (zero in production configs):
     // blocks this node's server thread exactly as a slow device would,
     // so wall-clock benches and slow-replica tests see real per-node
-    // service times.
-    let delay = node.config().service_delay;
-    if !delay.is_zero() {
+    // service times. `batch_overhead` is charged once per frame — the
+    // per-message cost batching amortizes; `service_delay` once per
+    // fingerprint in the frame.
+    let per_op = node.config().service_delay;
+    let per_frame = node.config().batch_overhead;
+    if !per_op.is_zero() || !per_frame.is_zero() {
         let ops = ops_in(&decoded);
         if ops > 0 {
-            std::thread::sleep(delay * ops);
+            let delay = per_frame + per_op * ops;
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
         }
     }
     let correlation = decoded.correlation();

@@ -11,8 +11,14 @@
 //!   bandwidth) used to account virtual network time,
 //! - [`ChannelTransport`] — an in-process duplex byte transport over
 //!   crossbeam channels for the threaded cluster,
-//! - [`Batcher`] — the front-end's fingerprint aggregation with size and
-//!   age limits.
+//! - [`Batcher`] — per-session fingerprint aggregation with size and age
+//!   limits (virtual-time; the simulator's and the synchronous
+//!   front-end's building block),
+//! - [`SharedBatcher`] + [`Ticket`] — the thread-safe *cross-client*
+//!   aggregator behind the paper's Figure-4 request flow: submissions
+//!   from any client thread join one shared queue and receive a blocking
+//!   completion ticket; one cluster round-trip answers a whole batch
+//!   through index-mapped demux.
 //!
 //! # Examples
 //!
@@ -34,11 +40,13 @@
 
 mod batch;
 mod model;
+mod shared;
 mod transport;
 mod wire;
 
 pub use batch::{Batch, Batcher};
 pub use model::NetModel;
+pub use shared::{CloseReason, ClosedBatch, SharedBatcher, SharedBatcherStats, Submitted, Ticket};
 pub use transport::{duplex, ChannelTransport, TransportStats};
 pub use wire::{
     decode, encode, encode_into, encoded_len, lookup_req_len, lookup_resp_len, Frame, WIRE_VERSION,

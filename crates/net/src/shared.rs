@@ -1,0 +1,797 @@
+//! Cross-client fingerprint aggregation with completion tickets.
+//!
+//! The paper's Figure-4 request flow has one web front-end accepting
+//! backup streams from *many concurrent clients* and aggregating their
+//! fingerprints into batches before shipping them to hash nodes. The
+//! session-local [`Batcher`](crate::Batcher) cannot express that shape:
+//! it is `&mut self`, serves one stream, and only notices an expired age
+//! limit when the same session pushes again. This module generalizes it:
+//!
+//! - [`SharedBatcher`] — a thread-safe pending queue any client thread can
+//!   submit to; batches close on size, on age (via [`SharedBatcher::poll`],
+//!   driven by a timer thread the owner runs), or on explicit flush,
+//! - [`Ticket`] — the completion handle a submission receives: a blocking
+//!   one-shot that later yields that fingerprint's answer,
+//! - [`ClosedBatch`] — a released batch plus the answer slots of every
+//!   ticket in it; one cluster round-trip answers them all through
+//!   index-mapped demux ([`ClosedBatch::complete`]).
+//!
+//! The aggregator is generic over the answer type `V` and knows nothing
+//! about clusters or dispatch: whoever receives a [`ClosedBatch`] owns the
+//! round-trip. Dropping a `ClosedBatch` without completing it fails every
+//! ticket in it ([`Error::Unavailable`]) rather than leaving waiters
+//! blocked forever.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use shhc_net::SharedBatcher;
+//! use shhc_types::Fingerprint;
+//!
+//! let batcher: SharedBatcher<bool> = SharedBatcher::new(2, Duration::from_secs(1));
+//! let first = batcher.submit(Fingerprint::from_u64(1));
+//! assert!(first.closed.is_none(), "batch still filling");
+//! let second = batcher.submit(Fingerprint::from_u64(2));
+//! let batch = second.closed.expect("size limit reached");
+//! assert_eq!(batch.len(), 2);
+//! // The dispatcher answers every ticket in one index-mapped pass.
+//! batch.complete(vec![false, true]).unwrap();
+//! assert!(!first.ticket.wait().unwrap());
+//! assert!(second.ticket.wait().unwrap());
+//! ```
+
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use shhc_types::{Error, Fingerprint, Result};
+
+/// Cap on retained queueing-delay samples, so a long-running front-end's
+/// stats stay bounded (~2 MiB worst case).
+const DELAY_SAMPLE_CAP: usize = 1 << 18;
+
+/// One-shot answer cell shared between a [`Ticket`] and its
+/// [`AnswerSlot`]: `None` until answered, then the final answer.
+struct Cell<V> {
+    slot: StdMutex<Option<Result<V>>>,
+    ready: Condvar,
+}
+
+impl<V> Cell<V> {
+    fn new() -> Arc<Self> {
+        Arc::new(Cell {
+            slot: StdMutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, answer: Result<V>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        // First answer wins; a second fill is unreachable because
+        // `AnswerSlot::fill` consumes the slot.
+        if slot.is_none() {
+            *slot = Some(answer);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// The answering half of a completion ticket, held by the batch until the
+/// dispatcher resolves it. Dropping an unfilled slot fails the ticket
+/// with [`Error::Unavailable`] so waiters never block forever.
+struct AnswerSlot<V> {
+    cell: Option<Arc<Cell<V>>>,
+}
+
+impl<V> AnswerSlot<V> {
+    fn fill(mut self, answer: Result<V>) {
+        if let Some(cell) = self.cell.take() {
+            cell.fill(answer);
+        }
+    }
+}
+
+impl<V> Drop for AnswerSlot<V> {
+    fn drop(&mut self) {
+        if let Some(cell) = self.cell.take() {
+            cell.fill(Err(Error::Unavailable(
+                "front-end dropped the batch without answering its tickets".into(),
+            )));
+        }
+    }
+}
+
+/// A completion ticket: the blocking one-shot handle a fingerprint
+/// submission receives, later yielding that fingerprint's answer.
+///
+/// Tickets are answered exactly once — by the dispatcher completing (or
+/// failing) the batch, or by the batch being dropped (which surfaces as
+/// [`Error::Unavailable`]). Waiting consumes the ticket, so an answer can
+/// never be observed twice.
+pub struct Ticket<V> {
+    cell: Arc<Cell<V>>,
+}
+
+impl<V> Ticket<V> {
+    /// True once the answer has arrived (a subsequent
+    /// [`wait`](Ticket::wait) will not block).
+    pub fn is_ready(&self) -> bool {
+        self.cell
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Blocks until the fingerprint's answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// The dispatch failure, when the batch's cluster round-trip failed;
+    /// [`Error::Unavailable`] when the batch was dropped unanswered.
+    pub fn wait(self) -> Result<V> {
+        let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(answer) = slot.take() {
+                return answer;
+            }
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`wait`](Ticket::wait), giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] when the timeout elapses first; otherwise as
+    /// [`wait`](Ticket::wait).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<V> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(answer) = slot.take() {
+                return answer;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Unavailable("ticket wait timed out".into()));
+            }
+            let (guard, _) = self
+                .cell
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for Ticket<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// Why a batch was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The size limit was reached.
+    Size,
+    /// The oldest entry exceeded the age limit.
+    Age,
+    /// An explicit flush released the batch.
+    Flush,
+}
+
+/// A batch released by a [`SharedBatcher`]: the fingerprints in arrival
+/// order plus the answer slot of every ticket in it.
+///
+/// Whoever receives the batch owns the cluster round-trip and must end it
+/// with [`complete`](ClosedBatch::complete) or
+/// [`fail`](ClosedBatch::fail); dropping the batch fails every ticket.
+#[must_use = "every ticket in the batch blocks until the batch is completed or failed"]
+pub struct ClosedBatch<V> {
+    fingerprints: Vec<Fingerprint>,
+    slots: Vec<AnswerSlot<V>>,
+    opened_at: Instant,
+    closed_at: Instant,
+    reason: CloseReason,
+}
+
+impl<V> ClosedBatch<V> {
+    /// The batch's fingerprints, in arrival order across all sessions.
+    pub fn fingerprints(&self) -> &[Fingerprint] {
+        &self.fingerprints
+    }
+
+    /// Number of fingerprints (never zero — empty batches are not
+    /// released).
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Always false; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Why the batch closed.
+    pub fn reason(&self) -> CloseReason {
+        self.reason
+    }
+
+    /// How long the batch's oldest entry waited before release.
+    pub fn queueing_delay(&self) -> Duration {
+        self.closed_at - self.opened_at
+    }
+
+    /// Answers every ticket: `answers[i]` resolves the ticket of
+    /// `fingerprints()[i]` — the index-mapped demux of one cluster
+    /// round-trip.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Decode`] when `answers` does not cover the batch exactly;
+    /// every ticket is then failed with the same error.
+    pub fn complete(mut self, answers: Vec<V>) -> Result<()> {
+        if answers.len() != self.slots.len() {
+            let err = Error::Decode(format!(
+                "batch of {} fingerprints answered with {} values",
+                self.slots.len(),
+                answers.len()
+            ));
+            for slot in self.slots.drain(..) {
+                slot.fill(Err(err.clone()));
+            }
+            return Err(err);
+        }
+        for (slot, answer) in self.slots.drain(..).zip(answers) {
+            slot.fill(Ok(answer));
+        }
+        Ok(())
+    }
+
+    /// Fails every ticket with (a clone of) `err` — the path taken when
+    /// the batch's cluster round-trip fails as a whole.
+    pub fn fail(mut self, err: &Error) {
+        for slot in self.slots.drain(..) {
+            slot.fill(Err(err.clone()));
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for ClosedBatch<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedBatch")
+            .field("len", &self.len())
+            .field("reason", &self.reason)
+            .field("queueing_delay", &self.queueing_delay())
+            .finish()
+    }
+}
+
+/// Result of one [`SharedBatcher::submit`] call.
+#[derive(Debug)]
+pub struct Submitted<V> {
+    /// The completion ticket for the submitted fingerprint.
+    pub ticket: Ticket<V>,
+    /// The batch this submission closed, when it tripped the size or age
+    /// limit. The caller owns its dispatch.
+    pub closed: Option<ClosedBatch<V>>,
+    /// True when this submission opened a fresh batch (the pending queue
+    /// was empty) — the cue for timer-driven owners to re-arm their age
+    /// alarm.
+    pub opened: bool,
+}
+
+/// One queued submission.
+struct PendingEntry<V> {
+    fingerprint: Fingerprint,
+    slot: AnswerSlot<V>,
+    submitted_at: Instant,
+}
+
+/// Accumulated front-end counters (under the queue lock).
+#[derive(Default)]
+struct StatsAccum {
+    batches: u64,
+    fingerprints: u64,
+    closed_by_size: u64,
+    closed_by_age: u64,
+    closed_by_flush: u64,
+    max_occupancy: usize,
+    delay_count: u64,
+    delay_total_ns: u128,
+    delay_max_ns: u64,
+    /// Per-fingerprint submit→close delays, capped at
+    /// [`DELAY_SAMPLE_CAP`] samples.
+    delay_samples_ns: Vec<u64>,
+}
+
+/// Point-in-time snapshot of a [`SharedBatcher`]'s counters.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBatcherStats {
+    /// Batches released so far.
+    pub batches: u64,
+    /// Fingerprints released in batches so far.
+    pub fingerprints: u64,
+    /// Batches closed by the size limit.
+    pub closed_by_size: u64,
+    /// Batches closed by the age limit.
+    pub closed_by_age: u64,
+    /// Batches closed by an explicit flush.
+    pub closed_by_flush: u64,
+    /// Largest batch released.
+    pub max_occupancy: usize,
+    /// Fingerprints currently waiting.
+    pub pending: usize,
+    /// Per-fingerprint queueing delays recorded (may exceed the sample
+    /// vector length once the cap is hit).
+    pub delay_count: u64,
+    /// Sum of all recorded delays, in nanoseconds.
+    pub delay_total_ns: u128,
+    /// Largest recorded delay, in nanoseconds.
+    pub delay_max_ns: u64,
+    /// Raw delay samples in nanoseconds (first [`DELAY_SAMPLE_CAP`]).
+    pub delay_samples_ns: Vec<u64>,
+}
+
+impl SharedBatcherStats {
+    /// Mean fingerprints per released batch — the cross-client
+    /// aggregation payoff.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.fingerprints as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean per-fingerprint queueing delay.
+    pub fn mean_delay(&self) -> Duration {
+        if self.delay_count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.delay_total_ns / u128::from(self.delay_count)) as u64)
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded per-fingerprint
+    /// queueing delays, or `None` with no samples.
+    pub fn delay_quantile(&self, q: f64) -> Option<Duration> {
+        if self.delay_samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.delay_samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_nanos(sorted[rank]))
+    }
+}
+
+/// Inner queue state, under one mutex.
+struct State<V> {
+    pending: Vec<PendingEntry<V>>,
+    opened_at: Instant,
+    stats: StatsAccum,
+}
+
+/// Thread-safe cross-client fingerprint aggregator.
+///
+/// Submissions from any thread append to one shared pending queue and
+/// receive a [`Ticket`]; batches close on size (the closing submitter
+/// receives the [`ClosedBatch`]), on age (via [`poll`](SharedBatcher::poll),
+/// which a timer thread calls), or on [`flush`](SharedBatcher::flush).
+/// Arrival order is preserved globally, hence also within each session.
+///
+/// See the [module docs](self) for the full protocol and an example.
+pub struct SharedBatcher<V> {
+    max_size: usize,
+    max_age: Duration,
+    state: Mutex<State<V>>,
+}
+
+impl<V> SharedBatcher<V> {
+    /// Creates an aggregator with the given size and age limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn new(max_size: usize, max_age: Duration) -> Self {
+        assert!(max_size > 0, "batch size must be nonzero");
+        SharedBatcher {
+            max_size,
+            max_age,
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                opened_at: Instant::now(),
+                stats: StatsAccum::default(),
+            }),
+        }
+    }
+
+    /// Appends a fingerprint to the shared queue, returning its
+    /// completion ticket plus the batch this submission closed (size or
+    /// age limit), if any.
+    pub fn submit(&self, fingerprint: Fingerprint) -> Submitted<V> {
+        let now = Instant::now();
+        let cell = Cell::new();
+        let ticket = Ticket {
+            cell: Arc::clone(&cell),
+        };
+        let mut state = self.state.lock();
+        let opened = state.pending.is_empty();
+        if opened {
+            state.opened_at = now;
+        }
+        state.pending.push(PendingEntry {
+            fingerprint,
+            slot: AnswerSlot { cell: Some(cell) },
+            submitted_at: now,
+        });
+        let closed = if state.pending.len() >= self.max_size {
+            Some(Self::close(&mut state, now, CloseReason::Size))
+        } else if now.duration_since(state.opened_at) >= self.max_age {
+            Some(Self::close(&mut state, now, CloseReason::Age))
+        } else {
+            None
+        };
+        drop(state);
+        Submitted {
+            ticket,
+            closed,
+            opened,
+        }
+    }
+
+    /// Releases the pending batch if its oldest entry has exceeded the
+    /// age limit — the hook a background flusher thread drives, so an
+    /// idle front-end still answers a lone fingerprint within ≈`max_age`.
+    pub fn poll(&self) -> Option<ClosedBatch<V>> {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        if !state.pending.is_empty() && now.duration_since(state.opened_at) >= self.max_age {
+            Some(Self::close(&mut state, now, CloseReason::Age))
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally releases whatever is pending.
+    pub fn flush(&self) -> Option<ClosedBatch<V>> {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        if state.pending.is_empty() {
+            None
+        } else {
+            Some(Self::close(&mut state, now, CloseReason::Flush))
+        }
+    }
+
+    /// When the pending batch must be released at the latest (`None` when
+    /// the queue is empty) — what a flusher thread sleeps toward.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let state = self.state.lock();
+        if state.pending.is_empty() {
+            None
+        } else {
+            Some(state.opened_at + self.max_age)
+        }
+    }
+
+    fn close(state: &mut State<V>, now: Instant, reason: CloseReason) -> ClosedBatch<V> {
+        let entries = std::mem::take(&mut state.pending);
+        let mut fingerprints = Vec::with_capacity(entries.len());
+        let mut slots = Vec::with_capacity(entries.len());
+        let stats = &mut state.stats;
+        stats.batches += 1;
+        stats.fingerprints += entries.len() as u64;
+        stats.max_occupancy = stats.max_occupancy.max(entries.len());
+        match reason {
+            CloseReason::Size => stats.closed_by_size += 1,
+            CloseReason::Age => stats.closed_by_age += 1,
+            CloseReason::Flush => stats.closed_by_flush += 1,
+        }
+        for entry in entries {
+            let delay_ns = now
+                .duration_since(entry.submitted_at)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            stats.delay_count += 1;
+            stats.delay_total_ns += u128::from(delay_ns);
+            stats.delay_max_ns = stats.delay_max_ns.max(delay_ns);
+            if stats.delay_samples_ns.len() < DELAY_SAMPLE_CAP {
+                stats.delay_samples_ns.push(delay_ns);
+            }
+            fingerprints.push(entry.fingerprint);
+            slots.push(entry.slot);
+        }
+        ClosedBatch {
+            fingerprints,
+            slots,
+            opened_at: state.opened_at,
+            closed_at: now,
+            reason,
+        }
+    }
+
+    /// Fingerprints currently waiting.
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// The configured maximum batch size.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// The configured maximum batch age.
+    pub fn max_age(&self) -> Duration {
+        self.max_age
+    }
+
+    /// Snapshots the aggregation counters and delay distribution.
+    pub fn stats(&self) -> SharedBatcherStats {
+        let state = self.state.lock();
+        let s = &state.stats;
+        SharedBatcherStats {
+            batches: s.batches,
+            fingerprints: s.fingerprints,
+            closed_by_size: s.closed_by_size,
+            closed_by_age: s.closed_by_age,
+            closed_by_flush: s.closed_by_flush,
+            max_occupancy: s.max_occupancy,
+            pending: state.pending.len(),
+            delay_count: s.delay_count,
+            delay_total_ns: s.delay_total_ns,
+            delay_max_ns: s.delay_max_ns,
+            delay_samples_ns: s.delay_samples_ns.clone(),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for SharedBatcher<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBatcher")
+            .field("max_size", &self.max_size)
+            .field("max_age", &self.max_age)
+            .field("pending", &self.pending_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::from_u64(v)
+    }
+
+    #[test]
+    fn size_trigger_returns_batch_to_closer() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(3, Duration::from_secs(60));
+        let s1 = b.submit(fp(1));
+        assert!(s1.opened && s1.closed.is_none());
+        let s2 = b.submit(fp(2));
+        assert!(!s2.opened && s2.closed.is_none());
+        let s3 = b.submit(fp(3));
+        let batch = s3.closed.expect("size limit");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.reason(), CloseReason::Size);
+        assert_eq!(batch.fingerprints(), &[fp(1), fp(2), fp(3)]);
+        batch.complete(vec![10, 20, 30]).unwrap();
+        assert_eq!(s1.ticket.wait().unwrap(), 10);
+        assert_eq!(s2.ticket.wait().unwrap(), 20);
+        assert_eq!(s3.ticket.wait().unwrap(), 30);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn poll_releases_stale_batch() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(100, Duration::from_millis(5));
+        let s = b.submit(fp(1));
+        assert!(b.poll().is_none(), "not stale yet");
+        std::thread::sleep(Duration::from_millis(8));
+        let batch = b.poll().expect("stale batch released");
+        assert_eq!(batch.reason(), CloseReason::Age);
+        assert!(batch.queueing_delay() >= Duration::from_millis(5));
+        batch.complete(vec![1]).unwrap();
+        assert_eq!(s.ticket.wait().unwrap(), 1);
+        assert!(b.poll().is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn flush_and_deadline() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(100, Duration::from_secs(1));
+        assert!(b.flush().is_none());
+        assert!(b.next_deadline().is_none());
+        let s1 = b.submit(fp(1));
+        let deadline = b.next_deadline().expect("armed");
+        assert!(deadline > Instant::now());
+        let batch = b.flush().expect("flush releases");
+        assert_eq!(batch.reason(), CloseReason::Flush);
+        batch.complete(vec![7]).unwrap();
+        assert_eq!(s1.ticket.wait().unwrap(), 7);
+    }
+
+    #[test]
+    fn dropped_batch_fails_tickets() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(1, Duration::from_secs(1));
+        let s = b.submit(fp(1));
+        drop(s.closed.expect("size-1 batch"));
+        let err = s.ticket.wait().unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn fail_propagates_error_to_every_ticket() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(2, Duration::from_secs(1));
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        s2.closed
+            .expect("size limit")
+            .fail(&Error::Unavailable("node down".into()));
+        for t in [s1.ticket, s2.ticket] {
+            assert!(matches!(t.wait(), Err(Error::Unavailable(_))));
+        }
+    }
+
+    #[test]
+    fn mismatched_answer_count_fails_tickets() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(2, Duration::from_secs(1));
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        let err = s2.closed.unwrap().complete(vec![1]).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)), "{err}");
+        assert!(matches!(s1.ticket.wait(), Err(Error::Decode(_))));
+        assert!(matches!(s2.ticket.wait(), Err(Error::Decode(_))));
+    }
+
+    #[test]
+    fn wait_timeout_gives_up() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(100, Duration::from_secs(60));
+        let s = b.submit(fp(1));
+        assert!(!s.ticket.is_ready());
+        let err = s.ticket.wait_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn cross_thread_submissions_aggregate() {
+        let b: Arc<SharedBatcher<u64>> = Arc::new(SharedBatcher::new(4, Duration::from_secs(60)));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let s = b.submit(fp(t));
+                if let Some(batch) = s.closed {
+                    let answers = batch.fingerprints().iter().map(|f| f.route_key()).collect();
+                    batch.complete(answers).unwrap();
+                }
+                s.ticket.wait().unwrap()
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), fp(t as u64).route_key());
+        }
+        let stats = b.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.fingerprints, 4);
+        assert!((stats.mean_occupancy() - 4.0).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// Encodes (session, per-session sequence number) into a
+        /// fingerprint so batches can be audited afterwards.
+        fn session_fp(session: usize, seq: u64) -> Fingerprint {
+            Fingerprint::from_u64(((session as u64) << 32) | seq)
+        }
+
+        proptest! {
+            /// The cross-client batcher invariants of the Figure-4 flow:
+            /// no released batch is empty, every ticket is answered
+            /// exactly once with *its own* fingerprint's answer (the
+            /// index-mapped demux never cross-wires), and arrival order
+            /// is preserved within each session.
+            #[test]
+            fn batcher_never_loses_or_reorders_tickets(
+                max_size in 1usize..9,
+                script in proptest::collection::vec(0usize..4, 1..150),
+            ) {
+                let batcher: SharedBatcher<u64> =
+                    SharedBatcher::new(max_size, Duration::from_secs(3600));
+                let mut answer_of: HashMap<Fingerprint, u64> = HashMap::new();
+                let mut tickets: Vec<Vec<(Fingerprint, Ticket<u64>)>> =
+                    (0..4).map(|_| Vec::new()).collect();
+                let mut seqs = [0u64; 4];
+                let mut batches = Vec::new();
+
+                for &session in &script {
+                    let fp = session_fp(session, seqs[session]);
+                    seqs[session] += 1;
+                    answer_of.insert(fp, fp.route_key());
+                    let submitted = batcher.submit(fp);
+                    tickets[session].push((fp, submitted.ticket));
+                    if let Some(batch) = submitted.closed {
+                        prop_assert_eq!(batch.len(), max_size, "only size closes here");
+                        batches.push(batch);
+                    }
+                }
+                if let Some(batch) = batcher.flush() {
+                    batches.push(batch);
+                }
+                prop_assert_eq!(batcher.pending_len(), 0);
+
+                // Released batches are never empty, and together they
+                // carry every submission in global arrival order.
+                let mut released = Vec::new();
+                for batch in batches {
+                    prop_assert!(!batch.is_empty(), "empty batch released");
+                    released.extend_from_slice(batch.fingerprints());
+                    let answers = batch
+                        .fingerprints()
+                        .iter()
+                        .map(|f| answer_of[f])
+                        .collect::<Vec<_>>();
+                    batch.complete(answers).map_err(|e| {
+                        TestCaseError::fail(format!("complete failed: {e}"))
+                    })?;
+                }
+                prop_assert_eq!(released.len(), script.len());
+                for (session, expected_len) in seqs.iter().enumerate() {
+                    let in_session: Vec<Fingerprint> = released
+                        .iter()
+                        .copied()
+                        .filter(|f| f.route_key() >> 32 == session as u64)
+                        .collect();
+                    let submitted: Vec<Fingerprint> =
+                        (0..*expected_len).map(|s| session_fp(session, s)).collect();
+                    prop_assert_eq!(in_session, submitted, "session order broken");
+                }
+
+                // Every ticket resolves exactly once, to its own answer.
+                for session_tickets in tickets {
+                    for (fp, ticket) in session_tickets {
+                        prop_assert!(ticket.is_ready(), "ticket dropped unanswered");
+                        let got = ticket.wait().map_err(|e| {
+                            TestCaseError::fail(format!("ticket failed: {e}"))
+                        })?;
+                        prop_assert_eq!(got, answer_of[&fp], "answer cross-wired");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_close_reasons_and_delays() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(2, Duration::from_millis(1));
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        s2.closed.unwrap().complete(vec![0, 0]).unwrap();
+        let s3 = b.submit(fp(3));
+        std::thread::sleep(Duration::from_millis(3));
+        b.poll().unwrap().complete(vec![0]).unwrap();
+        let _ = (s1.ticket.wait(), s3.ticket.wait());
+        let stats = b.stats();
+        assert_eq!(stats.closed_by_size, 1);
+        assert_eq!(stats.closed_by_age, 1);
+        assert_eq!(stats.delay_count, 3);
+        assert!(stats.delay_quantile(1.0).unwrap() >= Duration::from_millis(1));
+        assert!(stats.mean_delay() > Duration::ZERO);
+        assert_eq!(stats.max_occupancy, 2);
+    }
+}

@@ -43,6 +43,13 @@ pub struct NodeConfig {
     /// for this long, making per-node service time visible to wall-clock
     /// scaling benches and slow-replica concurrency tests.
     pub service_delay: std::time::Duration,
+    /// Artificial *wall-clock* cost charged once per data-plane frame
+    /// (zero in production configs) — the per-message network/protocol
+    /// overhead the in-process channel transport otherwise hides, and the
+    /// cost that fingerprint batching exists to amortize. The front-end
+    /// concurrency bench turns this up to make the batching dial visible
+    /// in wall-clock terms.
+    pub batch_overhead: std::time::Duration,
 }
 
 impl NodeConfig {
@@ -59,6 +66,7 @@ impl NodeConfig {
             cpu_per_op: Nanos::from_micros(20),
             ram_probe: Nanos::new(500),
             service_delay: std::time::Duration::ZERO,
+            batch_overhead: std::time::Duration::ZERO,
         }
     }
 
@@ -74,6 +82,7 @@ impl NodeConfig {
             cpu_per_op: Nanos::from_micros(1),
             ram_probe: Nanos::new(100),
             service_delay: std::time::Duration::ZERO,
+            batch_overhead: std::time::Duration::ZERO,
         }
     }
 }

@@ -13,7 +13,9 @@
 //! - [`TraceGenerator`] / [`Trace`] — seeded, reproducible generation,
 //! - [`presets`] — the four Table I workloads, with scaling,
 //! - [`characterize`] — measures Table I's columns from a trace,
-//! - [`mix`] — the "4 mixed workloads" stream used for Figures 5 and 6.
+//! - [`mix`] — the "4 mixed workloads" stream used for Figures 5 and 6,
+//! - [`MultiClientSpec`] — K concurrent clients (disjoint shards, paced
+//!   open-loop arrivals) for the shared-front-end experiments.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ mod dataset;
 mod generate;
 mod io;
 mod mixer;
+mod multi;
 pub mod presets;
 
 pub use charact::{characterize, TraceCharacteristics};
@@ -41,3 +44,4 @@ pub use dataset::{Dataset, DatasetSpec, MutationSpec};
 pub use generate::{Trace, TraceGenerator, TraceSpec};
 pub use io::{load_trace, save_trace};
 pub use mixer::mix;
+pub use multi::MultiClientSpec;

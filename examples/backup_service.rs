@@ -24,7 +24,7 @@ fn main() -> Result<()> {
 
     // Rabin content-defined chunking: 2 KiB min, 8 KiB target, 64 KiB max.
     let chunker = RabinChunker::new(2048, 8192, 65536);
-    let mut service = BackupService::new(cluster.clone(), chunker, store, 256);
+    let service = BackupService::new(cluster.clone(), chunker, store, 256);
 
     // A 4 MiB "mail spool".
     let mut rng = StdRng::seed_from_u64(2026);

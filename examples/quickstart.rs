@@ -16,7 +16,7 @@ fn main() -> Result<()> {
     // configuration), an in-memory container store standing in for cloud
     // storage, and 128-fingerprint batches.
     let store = MemChunkStore::new(4 * 1024 * 1024);
-    let mut service = BackupService::new(cluster.clone(), FixedChunker::new(4096), store, 128);
+    let service = BackupService::new(cluster.clone(), FixedChunker::new(4096), store, 128);
 
     // Synthesize a 2 MiB "user directory".
     let data: Vec<u8> = (0..2 * 1024 * 1024u32)

@@ -49,6 +49,6 @@ pub use shhc_workload as workload;
 pub use shhc as cluster;
 
 pub use shhc::{
-    BackupReport, BackupService, ClusterConfig, ClusterStats, Frontend, ShhcCluster, SimCluster,
-    SimClusterConfig,
+    BackupReport, BackupService, ClusterConfig, ClusterStats, Frontend, SharedFrontend,
+    ShhcCluster, SimCluster, SimClusterConfig, SyncFrontend,
 };

@@ -26,7 +26,7 @@ fn service(nodes: u32) -> BackupService<FixedChunker, MemChunkStore> {
 
 #[test]
 fn delete_frees_unshared_chunks() {
-    let mut svc = service(2);
+    let svc = service(2);
     let data = random_data(20_000, 1);
     let report = svc.backup(StreamId::new(1), &data).unwrap();
     assert_eq!(svc.store().stats().chunks, 40);
@@ -42,7 +42,7 @@ fn delete_frees_unshared_chunks() {
 
 #[test]
 fn delete_keeps_chunks_shared_with_other_backups() {
-    let mut svc = service(3);
+    let svc = service(3);
     let data = random_data(10_000, 2);
     let first = svc.backup(StreamId::new(1), &data).unwrap();
     let second = svc.backup(StreamId::new(2), &data).unwrap();
@@ -60,7 +60,7 @@ fn delete_keeps_chunks_shared_with_other_backups() {
 
 #[test]
 fn reingest_after_delete_stores_fresh_copies() {
-    let mut svc = service(2);
+    let svc = service(2);
     let data = random_data(5_000, 3);
     let first = svc.backup(StreamId::new(1), &data).unwrap();
     svc.delete_backup(&first.manifest).unwrap();
@@ -74,7 +74,7 @@ fn reingest_after_delete_stores_fresh_copies() {
 
 #[test]
 fn partial_overlap_deletes_only_unshared() {
-    let mut svc = service(2);
+    let svc = service(2);
     let shared = random_data(8_192, 4);
     let mut a = shared.clone();
     a.extend_from_slice(&random_data(4_096, 5));
@@ -93,7 +93,7 @@ fn partial_overlap_deletes_only_unshared() {
 
 #[test]
 fn intra_backup_duplicates_release_cleanly() {
-    let mut svc = service(2);
+    let svc = service(2);
     let block = random_data(512, 7);
     let data: Vec<u8> = block.iter().copied().cycle().take(512 * 30).collect();
     let report = svc.backup(StreamId::new(1), &data).unwrap();
@@ -108,7 +108,7 @@ fn intra_backup_duplicates_release_cleanly() {
 #[test]
 fn generational_backups_gc_incrementally() {
     // A rolling window of 3 retained backups over slowly mutating data.
-    let mut svc = service(3);
+    let svc = service(3);
     let mut data = random_data(30_000, 8);
     let mut retained: Vec<(shhc_storage::BackupManifest, Vec<u8>)> = Vec::new();
     let mut rng = StdRng::seed_from_u64(99);

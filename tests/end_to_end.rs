@@ -16,7 +16,7 @@ fn random_data(len: usize, seed: u64) -> Vec<u8> {
 
 fn run_round_trip<C: Chunker>(chunker: C, data: &[u8]) {
     let cluster = ShhcCluster::spawn(ClusterConfig::small_test(3)).unwrap();
-    let mut service = BackupService::new(cluster.clone(), chunker, MemChunkStore::new(1 << 20), 64);
+    let service = BackupService::new(cluster.clone(), chunker, MemChunkStore::new(1 << 20), 64);
     let report = service.backup(StreamId::new(1), data).unwrap();
     assert_eq!(report.logical_bytes as usize, data.len());
     let restored = service.restore(&report.manifest).unwrap();
@@ -55,7 +55,7 @@ fn file_store_round_trip_with_reopen() {
     let manifest = {
         let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
         let store = FileChunkStore::open(&dir, 1 << 20).unwrap();
-        let mut service = BackupService::new(cluster.clone(), FixedChunker::new(1024), store, 32);
+        let service = BackupService::new(cluster.clone(), FixedChunker::new(1024), store, 32);
         let report = service.backup(StreamId::new(1), &data).unwrap();
         cluster.shutdown().unwrap();
         report.manifest
@@ -90,7 +90,7 @@ fn dedup_ratio_tracks_workload_redundancy() {
     }
 
     let cluster = ShhcCluster::spawn(ClusterConfig::small_test(4)).unwrap();
-    let mut service = BackupService::new(
+    let service = BackupService::new(
         cluster.clone(),
         FixedChunker::new(chunk),
         MemChunkStore::new(1 << 22),
@@ -109,7 +109,7 @@ fn dedup_ratio_tracks_workload_redundancy() {
 #[test]
 fn many_streams_share_one_cluster() {
     let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
-    let mut service = BackupService::new(
+    let service = BackupService::new(
         cluster.clone(),
         FixedChunker::new(512),
         MemChunkStore::new(1 << 22),

@@ -12,7 +12,7 @@ use shhc::prelude::*;
 fn quickstart_flow_runs_to_completion() {
     let cluster = ShhcCluster::spawn(ClusterConfig::small_test(4)).expect("spawn cluster");
     let store = MemChunkStore::new(4 * 1024 * 1024);
-    let mut service = BackupService::new(cluster.clone(), FixedChunker::new(4096), store, 128);
+    let service = BackupService::new(cluster.clone(), FixedChunker::new(4096), store, 128);
 
     let data: Vec<u8> = (0..512 * 1024u32)
         .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
