@@ -44,6 +44,12 @@ pub fn frontend_quick() -> bool {
     env_flag("SHHC_FRONTEND_QUICK")
 }
 
+/// Quick mode for the elastic-scaling bench (`SHHC_ELASTIC_QUICK`):
+/// short phases and a small preload for a CI smoke run.
+pub fn elastic_quick() -> bool {
+    env_flag("SHHC_ELASTIC_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

@@ -1,7 +1,7 @@
 //! Length-prefixed, versioned wire format.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use shhc_types::{Error, Fingerprint, Result, StreamId, FINGERPRINT_LEN};
+use shhc_types::{Error, Fingerprint, KeyRange, Result, StreamId, FINGERPRINT_LEN};
 
 /// Wire protocol version byte; bump on incompatible layout changes.
 pub const WIRE_VERSION: u8 = 1;
@@ -15,6 +15,9 @@ const TAG_RECORD_REQ: u8 = 6;
 const TAG_ACK: u8 = 7;
 const TAG_ERROR: u8 = 8;
 const TAG_REMOVE_REQ: u8 = 9;
+const TAG_SCAN_RANGE_REQ: u8 = 10;
+const TAG_SCAN_RANGE_RESP: u8 = 11;
+const TAG_MIGRATE_REQ: u8 = 12;
 
 /// A protocol message exchanged between front-ends and hash nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +82,39 @@ pub enum Frame {
         /// Fingerprints to remove.
         fingerprints: Vec<Fingerprint>,
     },
+    /// One page of a chunked scan over a node's entries whose routing
+    /// keys fall inside `range` — the read half of online migration.
+    /// Answered with [`Frame::ScanRangeResp`].
+    ScanRangeReq {
+        /// Request/response correlation id.
+        correlation: u64,
+        /// Routing-key range to scan (inclusive, possibly wrapping).
+        range: KeyRange,
+        /// Resume cursor: return only fingerprints strictly greater than
+        /// this one (`None` starts from the beginning of the range).
+        after: Option<Fingerprint>,
+        /// Maximum entries to return in this page.
+        limit: u32,
+    },
+    /// One page of scan results, in ascending fingerprint order.
+    ScanRangeResp {
+        /// Correlation id copied from the request.
+        correlation: u64,
+        /// The page's `(fingerprint, value)` entries.
+        pairs: Vec<(Fingerprint, u64)>,
+        /// Whether the range is exhausted (no entries beyond this page).
+        done: bool,
+    },
+    /// Installs migrated entries on their new owner: each fingerprint is
+    /// inserted with its carried value **if absent**; entries the node
+    /// already holds keep their (fresher) local value. Answered with
+    /// [`Frame::Ack`].
+    MigrateReq {
+        /// Request/response correlation id.
+        correlation: u64,
+        /// `(fingerprint, value)` entries to install.
+        pairs: Vec<(Fingerprint, u64)>,
+    },
     /// Server-side failure while handling the correlated request.
     Error {
         /// Correlation id copied from the request.
@@ -97,6 +133,9 @@ impl Frame {
             | Frame::LookupResp { correlation, .. }
             | Frame::RecordReq { correlation, .. }
             | Frame::RemoveReq { correlation, .. }
+            | Frame::ScanRangeReq { correlation, .. }
+            | Frame::ScanRangeResp { correlation, .. }
+            | Frame::MigrateReq { correlation, .. }
             | Frame::Ack { correlation }
             | Frame::Ping { correlation }
             | Frame::Pong { correlation }
@@ -214,6 +253,48 @@ pub fn encode_into(frame: &Frame, buf: &mut BytesMut) {
                 buf.put_slice(fp.as_bytes());
             }
         }
+        Frame::ScanRangeReq {
+            correlation,
+            range,
+            after,
+            limit,
+        } => {
+            buf.put_u8(TAG_SCAN_RANGE_REQ);
+            buf.put_u64_le(*correlation);
+            buf.put_u64_le(range.first);
+            buf.put_u64_le(range.last);
+            match after {
+                Some(fp) => {
+                    buf.put_u8(1);
+                    buf.put_slice(fp.as_bytes());
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u32_le(*limit);
+        }
+        Frame::ScanRangeResp {
+            correlation,
+            pairs,
+            done,
+        } => {
+            buf.put_u8(TAG_SCAN_RANGE_RESP);
+            buf.put_u64_le(*correlation);
+            buf.put_u8(u8::from(*done));
+            buf.put_u32_le(pairs.len() as u32);
+            for (fp, v) in pairs {
+                buf.put_slice(fp.as_bytes());
+                buf.put_u64_le(*v);
+            }
+        }
+        Frame::MigrateReq { correlation, pairs } => {
+            buf.put_u8(TAG_MIGRATE_REQ);
+            buf.put_u64_le(*correlation);
+            buf.put_u32_le(pairs.len() as u32);
+            for (fp, v) in pairs {
+                buf.put_slice(fp.as_bytes());
+                buf.put_u64_le(*v);
+            }
+        }
         Frame::Error {
             correlation,
             message,
@@ -247,6 +328,13 @@ pub fn encoded_len(frame: &Frame) -> usize {
             Frame::RemoveReq { fingerprints, .. } => {
                 1 + 8 + 4 + fingerprints.len() * FINGERPRINT_LEN
             }
+            Frame::ScanRangeReq { after, .. } => {
+                1 + 8 + 16 + 1 + if after.is_some() { FINGERPRINT_LEN } else { 0 } + 4
+            }
+            Frame::ScanRangeResp { pairs, .. } => {
+                1 + 8 + 1 + 4 + pairs.len() * (FINGERPRINT_LEN + 8)
+            }
+            Frame::MigrateReq { pairs, .. } => 1 + 8 + 4 + pairs.len() * (FINGERPRINT_LEN + 8),
             Frame::Ack { .. } | Frame::Ping { .. } | Frame::Pong { .. } => 1 + 8,
             Frame::Error { message, .. } => 1 + 8 + 4 + message.len(),
         }
@@ -355,13 +443,7 @@ pub fn decode(bytes: &[u8]) -> Result<Frame> {
             need(&buf, 4)?;
             let n = buf.get_u32_le() as usize;
             need(&buf, n * (FINGERPRINT_LEN + 8))?;
-            let mut pairs = Vec::with_capacity(n);
-            for _ in 0..n {
-                let mut fp = [0u8; FINGERPRINT_LEN];
-                buf.copy_to_slice(&mut fp);
-                let v = buf.get_u64_le();
-                pairs.push((Fingerprint::from_bytes(fp), v));
-            }
+            let pairs = read_pairs(&mut buf, n);
             Ok(Frame::RecordReq { correlation, pairs })
         }
         TAG_ACK => Ok(Frame::Ack { correlation }),
@@ -376,6 +458,54 @@ pub fn decode(bytes: &[u8]) -> Result<Frame> {
                 correlation,
                 fingerprints,
             })
+        }
+        TAG_SCAN_RANGE_REQ => {
+            need(&buf, 16 + 1)?;
+            let first = buf.get_u64_le();
+            let last = buf.get_u64_le();
+            let after = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(&buf, FINGERPRINT_LEN)?;
+                    let mut fp = [0u8; FINGERPRINT_LEN];
+                    buf.copy_to_slice(&mut fp);
+                    Some(Fingerprint::from_bytes(fp))
+                }
+                other => {
+                    return Err(Error::Decode(format!("bad scan cursor flag {other}")));
+                }
+            };
+            need(&buf, 4)?;
+            let limit = buf.get_u32_le();
+            Ok(Frame::ScanRangeReq {
+                correlation,
+                range: KeyRange::new(first, last),
+                after,
+                limit,
+            })
+        }
+        TAG_SCAN_RANGE_RESP => {
+            need(&buf, 1 + 4)?;
+            let done = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Decode(format!("bad scan done flag {other}"))),
+            };
+            let n = buf.get_u32_le() as usize;
+            need(&buf, n * (FINGERPRINT_LEN + 8))?;
+            let pairs = read_pairs(&mut buf, n);
+            Ok(Frame::ScanRangeResp {
+                correlation,
+                pairs,
+                done,
+            })
+        }
+        TAG_MIGRATE_REQ => {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(&buf, n * (FINGERPRINT_LEN + 8))?;
+            let pairs = read_pairs(&mut buf, n);
+            Ok(Frame::MigrateReq { correlation, pairs })
         }
         TAG_ERROR => {
             need(&buf, 4)?;
@@ -392,6 +522,19 @@ pub fn decode(bytes: &[u8]) -> Result<Frame> {
         }
         other => Err(Error::Decode(format!("unknown frame tag {other}"))),
     }
+}
+
+/// Reads `n` `(fingerprint, value)` pairs; the caller has verified the
+/// buffer holds them.
+fn read_pairs(buf: &mut &[u8], n: usize) -> Vec<(Fingerprint, u64)> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut fp = [0u8; FINGERPRINT_LEN];
+        buf.copy_to_slice(&mut fp);
+        let v = buf.get_u64_le();
+        out.push((Fingerprint::from_bytes(fp), v));
+    }
+    out
 }
 
 fn read_fps(buf: &mut &[u8], n: usize) -> Vec<Fingerprint> {
@@ -442,6 +585,35 @@ mod tests {
             Frame::RemoveReq {
                 correlation: 9,
                 fingerprints: (5..9).map(Fingerprint::from_u64).collect(),
+            },
+            Frame::ScanRangeReq {
+                correlation: 10,
+                range: KeyRange::new(100, 50), // wrapping
+                after: None,
+                limit: 256,
+            },
+            Frame::ScanRangeReq {
+                correlation: 11,
+                range: KeyRange::full(),
+                after: Some(Fingerprint::from_u64(77)),
+                limit: 1,
+            },
+            Frame::ScanRangeResp {
+                correlation: 12,
+                pairs: vec![
+                    (Fingerprint::from_u64(3), 33),
+                    (Fingerprint::from_u64(4), 44),
+                ],
+                done: false,
+            },
+            Frame::ScanRangeResp {
+                correlation: 13,
+                pairs: vec![],
+                done: true,
+            },
+            Frame::MigrateReq {
+                correlation: 14,
+                pairs: vec![(Fingerprint::from_u64(9), 99)],
             },
         ]
     }
@@ -496,6 +668,22 @@ mod tests {
         bytes[5] = 200;
         let err = decode(&bytes).unwrap_err();
         assert!(matches!(err, Error::Decode(ref m) if m.contains("tag")));
+    }
+
+    #[test]
+    fn bad_scan_cursor_flag_detected() {
+        let mut bytes = encode(&Frame::ScanRangeReq {
+            correlation: 1,
+            range: KeyRange::new(0, 10),
+            after: None,
+            limit: 8,
+        })
+        .to_vec();
+        // The cursor flag sits after len(4) + version + tag + correlation(8)
+        // + range(16).
+        bytes[4 + 1 + 1 + 8 + 16] = 9;
+        let err = decode(&bytes).unwrap_err();
+        assert!(matches!(err, Error::Decode(ref m) if m.contains("cursor")));
     }
 
     #[test]

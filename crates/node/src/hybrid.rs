@@ -3,7 +3,7 @@
 use shhc_bloom::BloomFilter;
 use shhc_cache::{Cache, LruCache, SegmentedLruCache, TwoQCache};
 use shhc_flash::{DeviceStats, FlashConfig, FlashStore, FtlStats};
-use shhc_types::{Fingerprint, Nanos, NodeId, Result};
+use shhc_types::{Fingerprint, KeyRange, Nanos, NodeId, Result};
 
 /// Which replacement policy manages the RAM fingerprint cache.
 ///
@@ -138,6 +138,9 @@ pub struct NodeStats {
     pub bloom_false_positives: u64,
     /// Read-only queries served.
     pub queries: u64,
+    /// Entries installed by migration (rebalance traffic, not client
+    /// lookups — kept out of `inserted` so dedup accounting stays clean).
+    pub migrated_in: u64,
     /// Total virtual busy time of this node (CPU + RAM + device).
     pub busy: Nanos,
 }
@@ -481,16 +484,33 @@ impl HybridHashNode {
         self.charged_store(|s| s.flush())
     }
 
-    /// Overwrites the value stored with a fingerprint the node already
-    /// holds (e.g. replacing an insert-time placeholder with the chunk
-    /// location assigned by the storage backend). The RAM cache is
-    /// refreshed too.
+    /// Sets the value stored with a fingerprint: overwrites when the node
+    /// holds it (replacing an insert-time placeholder with the chunk
+    /// location assigned by the storage backend), inserts when it does
+    /// not — a record racing a membership change may land on an owner
+    /// that never saw the insert, and must still register the entry
+    /// (with a correct live count). The RAM cache is refreshed too.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn record(&mut self, fp: Fingerprint, value: u64) -> Result<Nanos> {
-        let cost = self.charged_store(|s| s.update(fp, value))?;
+        let mut cost = Nanos::ZERO;
+        let present = if self.bloom.contains(fp.as_bytes()) {
+            let before = self.store.busy();
+            let found = self.store.get(fp)?;
+            cost += self.store.busy() - before;
+            found.is_some()
+        } else {
+            false
+        };
+        cost += if present {
+            self.charged_store(|s| s.update(fp, value))?
+        } else {
+            let put = self.charged_store(|s| s.put(fp, value))?;
+            self.bloom.insert(fp.as_bytes());
+            put
+        };
         self.cache.insert(fp, value);
         self.charge(cost);
         Ok(cost)
@@ -505,7 +525,80 @@ impl HybridHashNode {
         self.store.scan()
     }
 
+    /// One page of a cursor-driven scan over the entries whose routing
+    /// keys fall in `range`: at most `limit` entries with fingerprints
+    /// strictly greater than `after` (or from the start when `None`), in
+    /// ascending fingerprint order, plus whether the range is exhausted.
+    ///
+    /// Chunked migration walks a range with this: entries returned by one
+    /// page may be removed before the next is requested without
+    /// disturbing the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn scan_range(
+        &mut self,
+        range: KeyRange,
+        after: Option<Fingerprint>,
+        limit: usize,
+    ) -> Result<(Vec<(Fingerprint, u64)>, bool)> {
+        let mut matches: Vec<(Fingerprint, u64)> = self
+            .store
+            .scan()?
+            .into_iter()
+            .filter(|(fp, _)| range.contains(fp.route_key()))
+            .filter(|(fp, _)| after.is_none_or(|cursor| *fp > cursor))
+            .collect();
+        matches.sort_unstable_by_key(|(fp, _)| *fp);
+        let done = matches.len() <= limit;
+        matches.truncate(limit);
+        Ok((matches, done))
+    }
+
+    /// Installs a migrated entry: inserts `fp` with `value` when absent,
+    /// keeps the existing (fresher) record when present. Returns whether
+    /// the entry was installed.
+    ///
+    /// This is the node half of online rebalancing — unlike
+    /// [`HybridHashNode::lookup_insert_with`] it never counts toward the
+    /// lookup statistics, and unlike [`HybridHashNode::record`] it cannot
+    /// clobber a value a client recorded during the migration window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn install(&mut self, fp: Fingerprint, value: u64) -> Result<bool> {
+        let mut cost = self.config.cpu_per_op + self.config.ram_probe;
+        if self.cache.get(&fp).is_some() {
+            self.charge(cost);
+            return Ok(false);
+        }
+        if self.bloom.contains(fp.as_bytes()) {
+            let (found, probe) = {
+                let before = self.store.busy();
+                let found = self.store.get(fp)?;
+                (found, self.store.busy() - before)
+            };
+            cost += probe;
+            if let Some(existing) = found {
+                self.cache.insert(fp, existing);
+                self.charge(cost);
+                return Ok(false);
+            }
+        }
+        cost += self.charged_store(|s| s.put(fp, value))?;
+        self.bloom.insert(fp.as_bytes());
+        self.cache.insert(fp, value);
+        self.stats.migrated_in += 1;
+        self.charge(cost);
+        Ok(true)
+    }
+
     /// Removes a fingerprint (rebalancing: entry moved to another node).
+    /// Removing an absent fingerprint is a no-op — double removes (a
+    /// client delete racing a migration's cleanup) must not underflow the
+    /// live-record count or waste a tombstone write.
     ///
     /// # Errors
     ///
@@ -516,7 +609,22 @@ impl HybridHashNode {
         // cache, however, must evict immediately or a stale entry would
         // keep answering "exists".
         self.cache.remove(&fp);
-        self.store.delete(fp)
+        if !self.bloom.contains(fp.as_bytes()) {
+            return Ok(());
+        }
+        let mut cost = {
+            let before = self.store.busy();
+            let found = self.store.get(fp)?;
+            let probe = self.store.busy() - before;
+            if found.is_none() {
+                self.charge(probe);
+                return Ok(());
+            }
+            probe
+        };
+        cost += self.charged_store(|s| s.delete(fp))?;
+        self.charge(cost);
+        Ok(())
     }
 
     /// Runs `f` against the store, returning the virtual device time it
@@ -677,6 +785,130 @@ mod tests {
         let r = n.lookup_insert(fp(11)).unwrap();
         assert!(!r.existed, "stale RAM cache entry after remove");
         assert_eq!(n.entries(), 1);
+    }
+
+    #[test]
+    fn record_on_absent_fingerprint_registers_it() {
+        let mut n = node();
+        n.record(fp(8), 800).unwrap();
+        assert_eq!(n.entries(), 1, "record must register absent entries");
+        let r = n.query(fp(8)).unwrap();
+        assert!(r.existed);
+        assert_eq!(r.value, 800);
+        // And still overwrites when present.
+        n.record(fp(8), 801).unwrap();
+        assert_eq!(n.entries(), 1);
+        assert_eq!(n.query(fp(8)).unwrap().value, 801);
+    }
+
+    #[test]
+    fn remove_of_absent_fingerprint_is_a_noop() {
+        let mut n = node();
+        n.lookup_insert(fp(1)).unwrap();
+        n.remove(fp(1)).unwrap();
+        n.remove(fp(1)).unwrap(); // double remove
+        n.remove(fp(2)).unwrap(); // never present
+        assert_eq!(n.entries(), 0, "live count must not underflow");
+        n.lookup_insert(fp(3)).unwrap();
+        assert_eq!(n.entries(), 1);
+    }
+
+    #[test]
+    fn install_inserts_only_when_absent() {
+        let mut n = node();
+        assert!(n.install(fp(1), 100).unwrap());
+        assert!(
+            !n.install(fp(1), 200).unwrap(),
+            "present entries keep their value"
+        );
+        let r = n.query(fp(1)).unwrap();
+        assert!(r.existed);
+        assert_eq!(r.value, 100);
+        // A client-recorded value survives a late migration install.
+        n.lookup_insert(fp(2)).unwrap();
+        n.record(fp(2), 555).unwrap();
+        assert!(!n.install(fp(2), 1).unwrap());
+        assert_eq!(n.query(fp(2)).unwrap().value, 555);
+        // Installs count as migration, not lookups.
+        assert_eq!(n.stats().migrated_in, 1);
+        assert_eq!(n.stats().inserted, 1);
+        assert_eq!(n.entries(), 2);
+    }
+
+    /// Fingerprints spread over the routing-key space (plain `fp(i)`
+    /// keeps small counters in the route-key prefix).
+    fn spread(i: u64) -> Fingerprint {
+        fp(i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
+    }
+
+    #[test]
+    fn scan_range_pages_through_a_range_in_order() {
+        let mut n = node();
+        for i in 0..200 {
+            n.lookup_insert(spread(i)).unwrap();
+        }
+        let range = KeyRange::new(0, u64::MAX / 2);
+        // Full walk in pages of 16, removing each page as migration does.
+        let mut seen: Vec<Fingerprint> = Vec::new();
+        let mut cursor = None;
+        loop {
+            let (page, done) = n.scan_range(range, cursor, 16).unwrap();
+            assert!(page.len() <= 16);
+            for w in page.windows(2) {
+                assert!(w[0].0 < w[1].0, "page must be sorted");
+            }
+            if let Some(last) = page.last() {
+                cursor = Some(last.0);
+            }
+            seen.extend(page.iter().map(|(f, _)| *f));
+            if done {
+                break;
+            }
+        }
+        // Exactly the in-range entries, each once.
+        let expected: Vec<Fingerprint> = {
+            let mut v: Vec<Fingerprint> = (0..200)
+                .map(spread)
+                .filter(|f| range.contains(f.route_key()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert!(!expected.is_empty() && expected.len() < 200);
+        assert_eq!(seen, expected);
+        // Pages survive interleaved removal: removing what was returned
+        // does not disturb the cursor.
+        let (page, _) = n.scan_range(range, None, 8).unwrap();
+        let cursor = page.last().map(|(f, _)| *f);
+        for (f, _) in &page {
+            n.remove(*f).unwrap();
+        }
+        let (next, _) = n.scan_range(range, cursor, 8).unwrap();
+        for (f, _) in &next {
+            assert!(
+                !page.iter().any(|(p, _)| p == f),
+                "page overlap after removal"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_range_wrapping_range_and_empty_result() {
+        let mut n = node();
+        for i in 0..50 {
+            n.lookup_insert(spread(i)).unwrap();
+        }
+        // A wrapping range plus its complement partition the key space.
+        let wrap = KeyRange::new(u64::MAX / 4 * 3, u64::MAX / 4);
+        let complement = KeyRange::new(u64::MAX / 4 + 1, u64::MAX / 4 * 3 - 1);
+        let (a, a_done) = n.scan_range(wrap, None, 1000).unwrap();
+        let (b, b_done) = n.scan_range(complement, None, 1000).unwrap();
+        assert!(a_done && b_done);
+        assert_eq!(a.len() + b.len(), 50);
+        // An empty node page reports done immediately.
+        let mut empty = node();
+        let (page, done) = empty.scan_range(KeyRange::full(), None, 10).unwrap();
+        assert!(page.is_empty() && done);
     }
 
     #[test]

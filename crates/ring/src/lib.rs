@@ -15,7 +15,11 @@
 //!   membership change (ablation),
 //! - [`FingerTable`] — a Chord-style O(log n) hop simulation quantifying
 //!   what SHHC's full-routing-table assumption saves over true P2P
-//!   routing.
+//!   routing,
+//! - [`RingView`] + [`MigrationPlan`] — immutable, epoch-stamped ring
+//!   snapshots and the exact ownership diff between consecutive epochs,
+//!   the machinery behind online membership changes (join/drain under
+//!   live traffic).
 //!
 //! # Examples
 //!
@@ -35,11 +39,13 @@
 #![warn(missing_docs)]
 
 mod chord;
+mod epoch;
 mod modulo;
 mod ring;
 mod static_range;
 
 pub use chord::FingerTable;
+pub use epoch::{MigrationPlan, RangeMove, RingView};
 pub use modulo::ModuloPartition;
 pub use ring::ConsistentHashRing;
 pub use static_range::StaticRangePartition;

@@ -109,6 +109,12 @@ impl ConsistentHashRing {
         self.vnodes
     }
 
+    /// The virtual points on the ring, in ascending key order — the arc
+    /// boundaries an epoch diff needs to compute exact ownership changes.
+    pub fn points(&self) -> impl Iterator<Item = u64> + '_ {
+        self.points.keys().copied()
+    }
+
     /// Returns the `n` distinct nodes following `key` on the ring — the
     /// replica set for that key (primary first). Returns fewer than `n`
     /// when the cluster is smaller than `n`.

@@ -23,6 +23,7 @@ mod error;
 mod fingerprint;
 mod fphash;
 mod ids;
+mod range;
 mod size;
 mod time;
 
@@ -30,5 +31,6 @@ pub use error::{Error, Result};
 pub use fingerprint::{Fingerprint, ParseFingerprintError, FINGERPRINT_LEN};
 pub use fphash::{FingerprintBuildHasher, FingerprintHasher, FpHashMap, FpHashSet};
 pub use ids::{ChunkId, ClientId, NodeId, StreamId};
+pub use range::KeyRange;
 pub use size::{ByteSize, GIB, KIB, MIB};
 pub use time::Nanos;

@@ -67,6 +67,19 @@ impl MultiClientSpec {
         self
     }
 
+    /// Returns a copy with a different intra-shard redundancy.
+    pub fn with_redundancy(mut self, redundancy: f64) -> Self {
+        self.redundancy = redundancy.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different base seed (shifting every shard
+    /// into a fresh fingerprint population).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Total fingerprints across all clients.
     pub fn total(&self) -> usize {
         self.clients * self.per_client
@@ -90,6 +103,22 @@ impl MultiClientSpec {
     /// Generates one client's fingerprint shard.
     pub fn shard(&self, client: usize) -> Vec<Fingerprint> {
         self.shard_spec(client).generate().fingerprints
+    }
+
+    /// Generates round `round` of client `client`'s open-ended stream:
+    /// each round is a fresh `per_client`-sized shard in a fingerprint
+    /// population disjoint from every other `(client, round)` pair, so a
+    /// driver can offer load indefinitely — a node-churn bench runs
+    /// rounds until its scenario ends rather than sizing the workload up
+    /// front. Deterministic in `(seed, client, round)`.
+    pub fn round_shard(&self, client: usize, round: u64) -> Vec<Fingerprint> {
+        // Rounds stride the seed space beyond any realistic client count.
+        let spec = TraceSpec {
+            seed: self.seed + client as u64 + round.wrapping_mul(0x0001_0000_0001),
+            name: format!("multi-client-{client}-round-{round}"),
+            ..self.shard_spec(client)
+        };
+        spec.generate().fingerprints
     }
 
     /// Generates every client's shard, indexed by client.
@@ -156,6 +185,47 @@ mod tests {
         assert_eq!(
             heads,
             vec![ClientId::new(0), ClientId::new(1), ClientId::new(2)]
+        );
+    }
+
+    #[test]
+    fn round_shards_are_disjoint_and_deterministic() {
+        let spec = MultiClientSpec::open_loop(3, 100);
+        let mut seen: HashSet<Fingerprint> = HashSet::new();
+        for client in 0..3 {
+            for round in 0..4u64 {
+                let shard = spec.round_shard(client, round);
+                assert_eq!(shard.len(), 100);
+                assert_eq!(
+                    shard,
+                    spec.round_shard(client, round),
+                    "rounds must be deterministic"
+                );
+                for fp in shard.iter().collect::<HashSet<_>>() {
+                    assert!(
+                        seen.insert(*fp),
+                        "fingerprint shared across (client, round) pairs"
+                    );
+                }
+            }
+        }
+        // Round 0 is the base shard (one population, two access paths).
+        assert_eq!(spec.round_shard(1, 0), spec.shard(1));
+    }
+
+    #[test]
+    fn builders_adjust_population_knobs() {
+        let spec = MultiClientSpec::open_loop(2, 50)
+            .with_redundancy(0.0)
+            .with_seed(42);
+        assert_eq!(spec.seed, 42);
+        let shard = spec.shard(0);
+        let unique: HashSet<Fingerprint> = shard.iter().copied().collect();
+        assert_eq!(unique.len(), shard.len(), "zero redundancy: no duplicates");
+        assert_ne!(
+            MultiClientSpec::open_loop(2, 50).shard(0),
+            shard,
+            "a different seed shifts the population"
         );
     }
 
