@@ -25,21 +25,7 @@ use shhc::{ClusterConfig, DataPlane, NodeConfig, ShhcCluster};
 use shhc_bench::{banner, wallclock_quick, write_bench_json, write_csv};
 use shhc_flash::FlashConfig;
 use shhc_types::Fingerprint;
-
-/// Deterministic unique fingerprints, spread over the ring like real
-/// SHA-1 output (golden-ratio mix of the counter).
-fn workload(batches: usize, batch_size: usize) -> Vec<Vec<Fingerprint>> {
-    (0..batches)
-        .map(|b| {
-            (0..batch_size)
-                .map(|i| {
-                    let k = (b * batch_size + i) as u64;
-                    Fingerprint::from_u64(k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
-                })
-                .collect()
-        })
-        .collect()
-}
+use shhc_workload::spread_batches;
 
 struct Measured {
     lookups: u64,
@@ -105,7 +91,7 @@ fn main() {
         if quick { "quick (CI smoke)" } else { "full" },
         delay.as_micros()
     );
-    let stream = workload(batches, batch_size);
+    let stream = spread_batches(batches, batch_size);
 
     println!(
         "{:>6} {:>16} {:>16} {:>9}   (sustained lookups/second)",

@@ -50,6 +50,13 @@ pub fn elastic_quick() -> bool {
     env_flag("SHHC_ELASTIC_QUICK")
 }
 
+/// Quick mode for the intra-node parallelism bench
+/// (`SHHC_NODE_PARALLELISM_QUICK`): tiny streams and shard sweep for a
+/// CI smoke run.
+pub fn node_parallelism_quick() -> bool {
+    env_flag("SHHC_NODE_PARALLELISM_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

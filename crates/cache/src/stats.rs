@@ -29,6 +29,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Sums counters across caches — a sharded node's per-shard RAM
+    /// caches report one aggregate. Idle (all-zero) parts contribute
+    /// nothing, and the merged [`CacheStats::hit_ratio`] stays
+    /// well-defined (zero lookups reports 0.0).
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a CacheStats>) -> CacheStats {
+        parts.into_iter().fold(CacheStats::default(), |mut acc, p| {
+            acc.hits += p.hits;
+            acc.misses += p.misses;
+            acc.evictions += p.evictions;
+            acc.insertions += p.insertions;
+            acc
+        })
+    }
+
     /// Fraction of lookups that hit; zero when no lookups happened.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -52,6 +66,24 @@ mod tests {
     #[test]
     fn empty_ratio_is_zero() {
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_parts_and_keeps_ratio_defined() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+            insertions: 6,
+        };
+        let idle = CacheStats::default();
+        let merged = CacheStats::merge([&a, &idle, &a]);
+        assert_eq!(merged.hits, 6);
+        assert_eq!(merged.misses, 2);
+        assert_eq!(merged.evictions, 4);
+        assert_eq!(merged.insertions, 12);
+        assert!((merged.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::merge([&idle, &idle]).hit_ratio(), 0.0);
     }
 
     #[test]

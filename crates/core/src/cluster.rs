@@ -48,11 +48,13 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use shhc_net::{decode, encode, Frame};
-use shhc_node::{HybridHashNode, NodeConfig};
+use shhc_node::{HybridHashNode, NodeConfig, ShardedNode};
 use shhc_ring::{MigrationPlan, RingView};
 use shhc_types::{Error, Fingerprint, FpHashSet, NodeId, Result, StreamId};
 
-use crate::server::{node_loop, ControlMsg, ControlReply, NodeRequest, NodeSnapshot};
+use crate::server::{
+    node_loop, sharded_node_loop, ControlMsg, ControlReply, NodeRequest, NodeSnapshot,
+};
 
 /// Evacuation passes a drain attempts before reporting leftovers. Each
 /// pass only has to catch entries written by batches that were already in
@@ -1662,12 +1664,22 @@ impl ShhcCluster {
 }
 
 fn spawn_node(id: NodeId, config: NodeConfig) -> Result<NodeSlot> {
-    let node = HybridHashNode::new(id, config)?;
     let (tx, rx) = unbounded();
-    let handle = std::thread::Builder::new()
-        .name(format!("shhc-{id}"))
-        .spawn(move || node_loop(node, rx))
-        .map_err(|e| Error::Io(format!("failed to spawn node thread: {e}")))?;
+    // `shards > 1` runs the node as a shard-per-worker pool (the
+    // dispatcher below spawns one worker thread per shard); `shards == 1`
+    // keeps the paper's single-threaded node as the measured baseline.
+    let handle = if config.shards > 1 {
+        let shards = ShardedNode::new(id, config.clone())?.into_shards();
+        std::thread::Builder::new()
+            .name(format!("shhc-{id}"))
+            .spawn(move || sharded_node_loop(config, shards, rx))
+    } else {
+        let node = HybridHashNode::new(id, config)?;
+        std::thread::Builder::new()
+            .name(format!("shhc-{id}"))
+            .spawn(move || node_loop(node, rx))
+    }
+    .map_err(|e| Error::Io(format!("failed to spawn node thread: {e}")))?;
     Ok(NodeSlot {
         sender: Some(tx),
         handle: Some(handle),
@@ -2230,6 +2242,11 @@ mod tests {
         let batch = fps(0..100);
         let mut node_config = NodeConfig::small_test();
         node_config.service_delay = delay;
+        // The max-vs-sum claim is about the *data plane* over
+        // single-threaded nodes; sharded nodes parallelize service time
+        // inside each node (tested in sharded_equivalence), which would
+        // let even the sequential plane beat the sum.
+        node_config.shards = 1;
         let sum = delay * batch.len() as u32;
 
         let run = |plane: DataPlane| {

@@ -68,7 +68,9 @@ pub use shhc_net::{SharedBatcherStats, Ticket};
 
 // Re-export the substrate APIs a downstream user needs alongside the
 // cluster, so `shhc` works as a single-dependency facade.
-pub use shhc_node::{CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats};
+pub use shhc_node::{
+    CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats, ShardRouter, ShardedNode,
+};
 pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Result, StreamId};
 
 /// Commonly used imports for applications built on SHHC.

@@ -1,16 +1,48 @@
-//! The per-node server thread: wire-format data plane plus a typed
-//! control plane.
+//! The per-node server: wire-format data plane plus a typed control
+//! plane, in two execution flavours.
+//!
+//! - [`node_loop`] — the paper's node: one thread owns a
+//!   [`HybridHashNode`] exclusively and serves one frame at a time (kept
+//!   as the measured single-core baseline),
+//! - [`sharded_node_loop`] — the multi-core node: a dispatcher thread
+//!   splits every data frame across `S` prefix-routed shards, each owned
+//!   by its own **worker thread**. Sub-frames from different clients
+//!   interleave freely across the workers, so a small frame no longer
+//!   waits head-of-line behind a deep frame that targets other shards.
+//!
+//! A sharded lookup-insert runs in two phases. Every involved worker
+//! *classifies* its slice (read-only, with coalesced flash reads); the
+//! **last worker to finish** merges the slices in frame order — this is
+//! where insert values are allocated, so they match what a sequential
+//! node would have assigned — encodes the reply, and fans the decided
+//! inserts back out as *apply* tasks. The reply is released once every
+//! apply lands, preserving the read-your-writes behaviour of the
+//! sequential loop for clients that wait for their answer. Between one
+//! frame's classify and apply, a concurrent frame for the same shard may
+//! classify the same fingerprint as new — both clients are then told
+//! "send the data", the standard benign dedup race the backup service
+//! already resolves above the cluster (a redundant copy, never
+//! corruption).
 
-use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use shhc_cache::CacheStats;
 use shhc_flash::{DeviceStats, FtlStats};
-use shhc_net::{decode, encode, Frame};
-use shhc_node::{HybridHashNode, NodeStats};
-use shhc_types::{Fingerprint, NodeId};
+use shhc_net::{decode, encode_reusing, Frame};
+use shhc_node::{
+    merge_classified, Classified, HybridHashNode, NodeConfig, NodeStats, ShardRouter, SubBatch,
+    SubClassified,
+};
+use shhc_types::{Fingerprint, KeyRange, NodeId};
 
 /// A point-in-time view of one node's state, fetched over the control
-/// plane.
+/// plane. For sharded nodes every counter is the across-shard aggregate.
 #[derive(Debug, Clone)]
 pub struct NodeSnapshot {
     /// The node's id.
@@ -25,6 +57,9 @@ pub struct NodeSnapshot {
     pub device: DeviceStats,
     /// FTL counters.
     pub ftl: FtlStats,
+    /// Intra-node shards executing on this node (1 = the single-threaded
+    /// baseline loop).
+    pub shards: u32,
 }
 
 /// Control-plane commands (in-process only; not wire-encoded).
@@ -65,19 +100,41 @@ pub(crate) fn snapshot_of(node: &HybridHashNode) -> NodeSnapshot {
         cache: node.cache_stats(),
         device: node.device_stats(),
         ftl: node.ftl_stats(),
+        shards: 1,
+    }
+}
+
+/// Aggregates per-shard snapshots into one node-level snapshot.
+fn merge_snapshots(parts: Vec<NodeSnapshot>) -> NodeSnapshot {
+    let shards = parts.len() as u32;
+    let stats: Vec<NodeStats> = parts.iter().map(|p| p.stats).collect();
+    let cache: Vec<CacheStats> = parts.iter().map(|p| p.cache).collect();
+    let device: Vec<DeviceStats> = parts.iter().map(|p| p.device).collect();
+    let ftl: Vec<FtlStats> = parts.iter().map(|p| p.ftl).collect();
+    NodeSnapshot {
+        id: parts.first().map(|p| p.id).unwrap_or(NodeId::new(0)),
+        entries: parts.iter().map(|p| p.entries).sum(),
+        stats: NodeStats::merge(stats.iter()),
+        cache: CacheStats::merge(cache.iter()),
+        device: DeviceStats::merge(device.iter()),
+        ftl: FtlStats::merge(ftl.iter()),
+        shards,
     }
 }
 
 /// The node server main loop: owns the node exclusively, serving requests
 /// until `Shutdown` arrives or every sender is dropped.
 pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
+    // One reply-encode scratch buffer for the thread's lifetime: replies
+    // reuse its allocation instead of growing a fresh buffer per frame.
+    let mut scratch = BytesMut::new();
     while let Ok(request) = rx.recv() {
         match request {
             NodeRequest::Data { frame, reply } => {
                 let response = handle_frame(&mut node, &frame);
                 // A dropped reply channel means the client gave up
                 // (timeout or crash); nothing for the server to do.
-                let _ = reply.send(encode(&response));
+                let _ = reply.send(encode_reusing(&response, &mut scratch));
             }
             NodeRequest::Control { msg, reply } => match msg {
                 ControlMsg::Stats => {
@@ -136,8 +193,8 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
     // Artificial wall-clock service time (zero in production configs):
     // blocks this node's server thread exactly as a slow device would,
     // so wall-clock benches and slow-replica tests see real per-node
-    // service times. `batch_overhead` is charged once per frame — the
-    // per-message cost batching amortizes; `service_delay` once per
+    // service times. `batch_overhead` is charged once per data frame —
+    // the per-message cost batching amortizes; `service_delay` once per
     // fingerprint in the frame.
     let per_op = node.config().service_delay;
     let per_frame = node.config().batch_overhead;
@@ -155,13 +212,7 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
         Frame::LookupInsertReq { fingerprints, .. } => {
             match node.lookup_insert_batch(&fingerprints) {
                 Ok(batch) => {
-                    let values = batch
-                        .exists
-                        .iter()
-                        .zip(batch.values.iter())
-                        .filter(|(e, _)| **e)
-                        .map(|(_, v)| *v)
-                        .collect();
+                    let values = compact_values(&batch.exists, &batch.values);
                     Frame::LookupResp {
                         correlation,
                         exists: batch.exists,
@@ -176,14 +227,12 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
         }
         Frame::QueryReq { fingerprints, .. } => {
             let mut exists = Vec::with_capacity(fingerprints.len());
-            let mut values = Vec::new();
+            let mut values = Vec::with_capacity(fingerprints.len());
             for fp in fingerprints {
                 match node.query(fp) {
                     Ok(r) => {
                         exists.push(r.existed);
-                        if r.existed {
-                            values.push(r.value);
-                        }
+                        values.push(r.value);
                     }
                     Err(e) => {
                         return Frame::Error {
@@ -193,6 +242,7 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
                     }
                 }
             }
+            let values = compact_values(&exists, &values);
             Frame::LookupResp {
                 correlation,
                 exists,
@@ -256,11 +306,847 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
     }
 }
 
+// ─── Sharded execution ──────────────────────────────────────────────────
+
+/// State shared by a sharded node's dispatcher and workers.
+struct NodeShared {
+    /// Per-shard task queues — the merge phase fans apply tasks back out
+    /// through these.
+    workers: Vec<Sender<ShardTask>>,
+    /// Node-level insert-value allocator. Values are only drawn at merge
+    /// time, in frame order, so sequentially driven traffic receives
+    /// exactly the values a single-threaded node would assign.
+    next_value: AtomicU64,
+}
+
+/// A unit of work queued to one shard worker.
+enum ShardTask {
+    Work {
+        job: Arc<FrameJob>,
+        slot: usize,
+        work: ShardWork,
+    },
+    Shutdown,
+}
+
+/// What a worker does with its shard for one sub-frame. `delay` is the
+/// artificial wall-clock service time for this slice (so shards of one
+/// frame sleep **concurrently** — the multi-core effect the paper's
+/// sequential node cannot show).
+enum ShardWork {
+    Classify {
+        fps: Vec<Fingerprint>,
+        delay: Duration,
+    },
+    Apply {
+        pairs: Vec<(Fingerprint, u64)>,
+    },
+    Query {
+        fps: Vec<Fingerprint>,
+        delay: Duration,
+    },
+    Record {
+        pairs: Vec<(Fingerprint, u64)>,
+        delay: Duration,
+    },
+    Install {
+        pairs: Vec<(Fingerprint, u64)>,
+        delay: Duration,
+    },
+    Remove {
+        fps: Vec<Fingerprint>,
+        delay: Duration,
+    },
+    ScanRange {
+        range: KeyRange,
+        after: Option<Fingerprint>,
+        limit: usize,
+    },
+    Scan,
+    Flush,
+    Stats,
+}
+
+/// One shard's result for its slice of a frame.
+enum ShardOutcome {
+    Classified {
+        fps: Vec<Fingerprint>,
+        classes: Vec<Classified>,
+    },
+    Answered {
+        exists: Vec<bool>,
+        values: Vec<u64>,
+    },
+    Acked,
+    Page {
+        pairs: Vec<(Fingerprint, u64)>,
+    },
+    Entries {
+        pairs: Vec<(Fingerprint, u64)>,
+    },
+    Snapshot(Box<NodeSnapshot>),
+    Done,
+    Failed(String),
+}
+
+/// Where a finished job's answer goes.
+enum ReplyTo {
+    Data(Sender<Bytes>),
+    Control(Sender<ControlReply>),
+}
+
+/// How the per-shard outcomes of a job merge into one answer.
+enum JobKind {
+    /// Two-phase lookup-insert (classify → merge/allocate → apply).
+    Lookup,
+    /// Read-only query: index-merge the slices.
+    Query,
+    /// Record/remove/install: every shard acks.
+    Ack,
+    /// Cursor-paged range scan: concatenate slot pages in shard order,
+    /// over-fetched by one entry to decide `done` exactly.
+    ScanRange { limit: usize },
+    /// Full scan: concatenate in shard order.
+    Scan,
+    /// All shards flushed.
+    Flush,
+    /// Merge per-shard snapshots.
+    Stats,
+}
+
+/// Phases of a [`JobKind::Lookup`] job.
+#[derive(PartialEq, Eq)]
+enum Phase {
+    Classify,
+    Apply,
+}
+
+/// One in-flight frame fanned out across shard workers. The **last
+/// worker to finish decrements `remaining` to zero and merges** — the
+/// dispatcher never blocks on a frame, which is what lets frames from
+/// different clients interleave across shards.
+struct FrameJob {
+    kind: JobKind,
+    correlation: u64,
+    /// Batch length (lookup/query) for position merging.
+    total: usize,
+    reply: ReplyTo,
+    shared: Arc<NodeShared>,
+    inner: Mutex<JobInner>,
+}
+
+struct JobInner {
+    remaining: usize,
+    /// Per-slot outcomes, slot order = shard order.
+    slots: Vec<Option<ShardOutcome>>,
+    /// Per-slot positions in the original batch (lookup/query).
+    positions: Vec<Vec<usize>>,
+    /// Worker index behind each slot.
+    shard_of_slot: Vec<usize>,
+    phase: Phase,
+    /// Reply bytes prepared at classify-merge, released after apply.
+    reply_bytes: Option<Bytes>,
+    failure: Option<String>,
+}
+
+impl FrameJob {
+    /// Records one slot's outcome; the worker that completes the job
+    /// merges and replies (and, for lookups, fans out the apply phase).
+    fn complete(self: &Arc<Self>, slot: usize, outcome: ShardOutcome, scratch: &mut BytesMut) {
+        let mut inner = self.inner.lock();
+        if let ShardOutcome::Failed(m) = &outcome {
+            if inner.failure.is_none() {
+                inner.failure = Some(m.clone());
+            }
+        }
+        inner.slots[slot] = Some(outcome);
+        inner.remaining -= 1;
+        if inner.remaining > 0 {
+            return;
+        }
+        self.finish(&mut inner, scratch);
+    }
+
+    fn finish(self: &Arc<Self>, inner: &mut JobInner, scratch: &mut BytesMut) {
+        match &self.kind {
+            JobKind::Lookup => self.finish_lookup(inner, scratch),
+            JobKind::Query => {
+                if let Some(m) = &inner.failure {
+                    return self.send_data(&error_frame(self.correlation, m), scratch);
+                }
+                let mut exists = vec![false; self.total];
+                let mut values = vec![0u64; self.total];
+                for (slot, outcome) in inner.slots.iter().enumerate() {
+                    if let Some(ShardOutcome::Answered {
+                        exists: e,
+                        values: v,
+                    }) = outcome
+                    {
+                        for ((&pos, e), v) in inner.positions[slot].iter().zip(e).zip(v) {
+                            exists[pos] = *e;
+                            values[pos] = *v;
+                        }
+                    }
+                }
+                let values = compact_values(&exists, &values);
+                self.send_data(
+                    &Frame::LookupResp {
+                        correlation: self.correlation,
+                        exists,
+                        values,
+                    },
+                    scratch,
+                );
+            }
+            JobKind::Ack => {
+                let frame = match &inner.failure {
+                    Some(m) => error_frame(self.correlation, m),
+                    None => Frame::Ack {
+                        correlation: self.correlation,
+                    },
+                };
+                self.send_data(&frame, scratch);
+            }
+            JobKind::ScanRange { limit } => {
+                if let Some(m) = &inner.failure {
+                    return self.send_data(&error_frame(self.correlation, m), scratch);
+                }
+                // Slot order = shard order = ascending fingerprint order;
+                // collecting limit+1 entries decides `done` exactly as
+                // the unsharded scan's over-count does.
+                let mut pairs: Vec<(Fingerprint, u64)> = Vec::new();
+                for outcome in inner.slots.iter().flatten() {
+                    if let ShardOutcome::Page { pairs: page } = outcome {
+                        for &entry in page {
+                            if pairs.len() > *limit {
+                                break;
+                            }
+                            pairs.push(entry);
+                        }
+                    }
+                }
+                let done = pairs.len() <= *limit;
+                pairs.truncate(*limit);
+                self.send_data(
+                    &Frame::ScanRangeResp {
+                        correlation: self.correlation,
+                        pairs,
+                        done,
+                    },
+                    scratch,
+                );
+            }
+            JobKind::Scan => {
+                if let Some(m) = &inner.failure {
+                    return self.send_control(ControlReply::Failed(m.clone()));
+                }
+                let mut entries = Vec::new();
+                for outcome in inner.slots.iter_mut().flatten() {
+                    if let ShardOutcome::Entries { pairs } = outcome {
+                        entries.append(pairs);
+                    }
+                }
+                self.send_control(ControlReply::Scan(entries));
+            }
+            JobKind::Flush => {
+                let reply = match &inner.failure {
+                    Some(m) => ControlReply::Failed(m.clone()),
+                    None => ControlReply::Done,
+                };
+                self.send_control(reply);
+            }
+            JobKind::Stats => {
+                let parts: Vec<NodeSnapshot> = inner
+                    .slots
+                    .iter()
+                    .flatten()
+                    .filter_map(|o| match o {
+                        ShardOutcome::Snapshot(snap) => Some((**snap).clone()),
+                        _ => None,
+                    })
+                    .collect();
+                self.send_control(ControlReply::Stats(Box::new(merge_snapshots(parts))));
+            }
+        }
+    }
+
+    fn finish_lookup(self: &Arc<Self>, inner: &mut JobInner, scratch: &mut BytesMut) {
+        match inner.phase {
+            Phase::Classify => {
+                if let Some(m) = &inner.failure {
+                    return self.send_data(&error_frame(self.correlation, m), scratch);
+                }
+                let mut subs: Vec<SubClassified> = Vec::with_capacity(inner.slots.len());
+                for (slot, outcome) in inner.slots.iter_mut().enumerate() {
+                    let Some(ShardOutcome::Classified { fps, classes }) = outcome.take() else {
+                        return self.send_data(
+                            &error_frame(self.correlation, "shard lost its classification"),
+                            scratch,
+                        );
+                    };
+                    subs.push(SubClassified {
+                        positions: std::mem::take(&mut inner.positions[slot]),
+                        fingerprints: fps,
+                        classes,
+                    });
+                }
+                // The frame-order merge: insert values are allocated
+                // here, not in the (arbitrarily scheduled) workers.
+                let merged = merge_classified(self.total, &subs, || {
+                    self.shared.next_value.fetch_add(1, Ordering::Relaxed)
+                });
+                let values = compact_values(&merged.exists, &merged.values);
+                let reply = Frame::LookupResp {
+                    correlation: self.correlation,
+                    exists: merged.exists,
+                    values,
+                };
+                let applies: Vec<(usize, Vec<(Fingerprint, u64)>)> = merged
+                    .inserts
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, pairs)| !pairs.is_empty())
+                    .map(|(slot, pairs)| (inner.shard_of_slot[slot], pairs))
+                    .collect();
+                if applies.is_empty() {
+                    return self.send_data(&reply, scratch);
+                }
+                inner.phase = Phase::Apply;
+                inner.remaining = applies.len();
+                inner.reply_bytes = Some(encode_reusing(&reply, scratch));
+                inner.slots.iter_mut().for_each(|s| *s = None);
+                for (slot, (shard, pairs)) in applies.into_iter().enumerate() {
+                    // The queue outlives the job (workers only exit on
+                    // shutdown), so the send cannot fail while a client
+                    // still waits.
+                    let _ = self.shared.workers[shard].send(ShardTask::Work {
+                        job: Arc::clone(self),
+                        slot,
+                        work: ShardWork::Apply { pairs },
+                    });
+                }
+            }
+            Phase::Apply => {
+                if let Some(m) = &inner.failure {
+                    return self.send_data(&error_frame(self.correlation, m), scratch);
+                }
+                if let (ReplyTo::Data(tx), Some(bytes)) = (&self.reply, inner.reply_bytes.take()) {
+                    let _ = tx.send(bytes);
+                }
+            }
+        }
+    }
+
+    fn send_data(&self, frame: &Frame, scratch: &mut BytesMut) {
+        if let ReplyTo::Data(tx) = &self.reply {
+            let _ = tx.send(encode_reusing(frame, scratch));
+        }
+    }
+
+    fn send_control(&self, reply: ControlReply) {
+        if let ReplyTo::Control(tx) = &self.reply {
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+fn error_frame(correlation: u64, message: &str) -> Frame {
+    Frame::Error {
+        correlation,
+        message: message.to_string(),
+    }
+}
+
+/// Compacts a full-length value vector into the wire form: one value per
+/// *existing* fingerprint, in order.
+fn compact_values(exists: &[bool], values: &[u64]) -> Vec<u64> {
+    exists
+        .iter()
+        .zip(values)
+        .filter(|(e, _)| **e)
+        .map(|(_, v)| *v)
+        .collect()
+}
+
+/// One shard worker: owns its [`HybridHashNode`] slice exclusively and
+/// executes sub-frames FIFO until shutdown.
+fn shard_worker(mut shard: HybridHashNode, rx: Receiver<ShardTask>) {
+    let mut scratch = BytesMut::new();
+    while let Ok(task) = rx.recv() {
+        match task {
+            ShardTask::Shutdown => break,
+            ShardTask::Work { job, slot, work } => {
+                let outcome = run_shard_work(&mut shard, work);
+                job.complete(slot, outcome, &mut scratch);
+            }
+        }
+    }
+}
+
+fn run_shard_work(shard: &mut HybridHashNode, work: ShardWork) -> ShardOutcome {
+    match work {
+        ShardWork::Classify { fps, delay } => {
+            sleep_service(delay);
+            match shard.classify_batch(&fps) {
+                Ok(classes) => ShardOutcome::Classified { fps, classes },
+                Err(e) => ShardOutcome::Failed(e.to_string()),
+            }
+        }
+        ShardWork::Apply { pairs } => match shard.apply_inserts(&pairs) {
+            Ok(()) => ShardOutcome::Acked,
+            Err(e) => ShardOutcome::Failed(e.to_string()),
+        },
+        ShardWork::Query { fps, delay } => {
+            sleep_service(delay);
+            match shard.query_many(&fps) {
+                Ok((exists, values)) => ShardOutcome::Answered { exists, values },
+                Err(e) => ShardOutcome::Failed(e.to_string()),
+            }
+        }
+        ShardWork::Record { pairs, delay } => {
+            sleep_service(delay);
+            for (fp, value) in pairs {
+                if let Err(e) = shard.record(fp, value) {
+                    return ShardOutcome::Failed(e.to_string());
+                }
+            }
+            ShardOutcome::Acked
+        }
+        ShardWork::Install { pairs, delay } => {
+            sleep_service(delay);
+            for (fp, value) in pairs {
+                if let Err(e) = shard.install(fp, value) {
+                    return ShardOutcome::Failed(e.to_string());
+                }
+            }
+            ShardOutcome::Acked
+        }
+        ShardWork::Remove { fps, delay } => {
+            sleep_service(delay);
+            for fp in fps {
+                if let Err(e) = shard.remove(fp) {
+                    return ShardOutcome::Failed(e.to_string());
+                }
+            }
+            ShardOutcome::Acked
+        }
+        ShardWork::ScanRange {
+            range,
+            after,
+            limit,
+        } => match shard.scan_range(range, after, limit) {
+            Ok((pairs, _done)) => ShardOutcome::Page { pairs },
+            Err(e) => ShardOutcome::Failed(e.to_string()),
+        },
+        ShardWork::Scan => match shard.scan() {
+            Ok(pairs) => ShardOutcome::Entries { pairs },
+            Err(e) => ShardOutcome::Failed(e.to_string()),
+        },
+        ShardWork::Flush => match shard.flush() {
+            Ok(_) => ShardOutcome::Done,
+            Err(e) => ShardOutcome::Failed(e.to_string()),
+        },
+        ShardWork::Stats => ShardOutcome::Snapshot(Box::new(snapshot_of(shard))),
+    }
+}
+
+fn sleep_service(delay: Duration) {
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+}
+
+/// The sharded node server: the dispatcher half. Spawns one worker per
+/// shard, splits every data frame across them, and never blocks on a
+/// frame — merging and replying happen on whichever worker finishes a
+/// frame last.
+pub(crate) fn sharded_node_loop(
+    config: NodeConfig,
+    shards: Vec<HybridHashNode>,
+    rx: Receiver<NodeRequest>,
+) {
+    let router = ShardRouter::new(shards.len() as u32);
+    let mut worker_txs = Vec::with_capacity(shards.len());
+    let mut worker_rxs = Vec::with_capacity(shards.len());
+    for _ in 0..shards.len() {
+        let (tx, wrx) = unbounded();
+        worker_txs.push(tx);
+        worker_rxs.push(wrx);
+    }
+    let shared = Arc::new(NodeShared {
+        workers: worker_txs,
+        next_value: AtomicU64::new(0),
+    });
+    let handles: Vec<JoinHandle<()>> = shards
+        .into_iter()
+        .zip(worker_rxs)
+        .enumerate()
+        .map(|(s, (shard, wrx))| {
+            std::thread::Builder::new()
+                .name(format!("shhc-{}-s{s}", shard.id()))
+                .spawn(move || shard_worker(shard, wrx))
+                .expect("spawn shard worker")
+        })
+        .collect();
+    let mut scratch = BytesMut::new();
+    while let Ok(request) = rx.recv() {
+        match request {
+            NodeRequest::Data { frame, reply } => {
+                dispatch_data(&config, &router, &shared, &frame, reply, &mut scratch);
+            }
+            NodeRequest::Control { msg, reply } => match msg {
+                ControlMsg::Shutdown => {
+                    let _ = reply.send(ControlReply::Done);
+                    break;
+                }
+                ControlMsg::Stats => broadcast_control(&shared, JobKind::Stats, reply),
+                ControlMsg::Flush => broadcast_control(&shared, JobKind::Flush, reply),
+                ControlMsg::Scan => broadcast_control(&shared, JobKind::Scan, reply),
+            },
+        }
+    }
+    for tx in &shared.workers {
+        let _ = tx.send(ShardTask::Shutdown);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Builds a job over `slots.len()` sub-frames and returns it; callers
+/// send one task per slot.
+#[allow(clippy::too_many_arguments)]
+fn new_job(
+    kind: JobKind,
+    correlation: u64,
+    total: usize,
+    reply: ReplyTo,
+    shared: &Arc<NodeShared>,
+    positions: Vec<Vec<usize>>,
+    shard_of_slot: Vec<usize>,
+) -> Arc<FrameJob> {
+    let slots = shard_of_slot.len();
+    Arc::new(FrameJob {
+        kind,
+        correlation,
+        total,
+        reply,
+        shared: Arc::clone(shared),
+        inner: Mutex::new(JobInner {
+            remaining: slots,
+            slots: (0..slots).map(|_| None).collect(),
+            positions,
+            shard_of_slot,
+            phase: Phase::Classify,
+            reply_bytes: None,
+            failure: None,
+        }),
+    })
+}
+
+/// Splits a decoded data frame across the shard workers.
+fn dispatch_data(
+    config: &NodeConfig,
+    router: &ShardRouter,
+    shared: &Arc<NodeShared>,
+    frame: &Bytes,
+    reply: Sender<Bytes>,
+    scratch: &mut BytesMut,
+) {
+    let decoded = match decode(frame) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = reply.send(encode_reusing(
+                &error_frame(0, &format!("undecodable request: {e}")),
+                scratch,
+            ));
+            return;
+        }
+    };
+    let correlation = decoded.correlation();
+    let per_op = config.service_delay;
+    let per_frame = config.batch_overhead;
+    // Per-slice service time: each shard sleeps for *its* share of the
+    // frame concurrently; the per-message overhead is charged once, on
+    // the first involved shard.
+    let delay_for = |k: usize, ops: usize| -> Duration {
+        let mut d = per_op * ops as u32;
+        if k == 0 {
+            d += per_frame;
+        }
+        d
+    };
+    match decoded {
+        Frame::LookupInsertReq { fingerprints, .. } => {
+            let involved = involved_subs(router, &fingerprints);
+            if involved.is_empty() {
+                let _ = reply.send(encode_reusing(
+                    &Frame::LookupResp {
+                        correlation,
+                        exists: Vec::new(),
+                        values: Vec::new(),
+                    },
+                    scratch,
+                ));
+                return;
+            }
+            let (positions, shard_of_slot, fps): (Vec<_>, Vec<_>, Vec<_>) = split_parts(involved);
+            let job = new_job(
+                JobKind::Lookup,
+                correlation,
+                fingerprints.len(),
+                ReplyTo::Data(reply),
+                shared,
+                positions,
+                shard_of_slot.clone(),
+            );
+            for (k, (shard, sub_fps)) in shard_of_slot.into_iter().zip(fps).enumerate() {
+                let delay = delay_for(k, sub_fps.len());
+                let _ = shared.workers[shard].send(ShardTask::Work {
+                    job: Arc::clone(&job),
+                    slot: k,
+                    work: ShardWork::Classify {
+                        fps: sub_fps,
+                        delay,
+                    },
+                });
+            }
+        }
+        Frame::QueryReq { fingerprints, .. } => {
+            let involved = involved_subs(router, &fingerprints);
+            if involved.is_empty() {
+                let _ = reply.send(encode_reusing(
+                    &Frame::LookupResp {
+                        correlation,
+                        exists: Vec::new(),
+                        values: Vec::new(),
+                    },
+                    scratch,
+                ));
+                return;
+            }
+            let (positions, shard_of_slot, fps): (Vec<_>, Vec<_>, Vec<_>) = split_parts(involved);
+            let job = new_job(
+                JobKind::Query,
+                correlation,
+                fingerprints.len(),
+                ReplyTo::Data(reply),
+                shared,
+                positions,
+                shard_of_slot.clone(),
+            );
+            for (k, (shard, sub_fps)) in shard_of_slot.into_iter().zip(fps).enumerate() {
+                let delay = delay_for(k, sub_fps.len());
+                let _ = shared.workers[shard].send(ShardTask::Work {
+                    job: Arc::clone(&job),
+                    slot: k,
+                    work: ShardWork::Query {
+                        fps: sub_fps,
+                        delay,
+                    },
+                });
+            }
+        }
+        Frame::RecordReq { pairs, .. } => {
+            dispatch_pairs(
+                router,
+                shared,
+                correlation,
+                reply,
+                scratch,
+                pairs,
+                |pairs, delay| ShardWork::Record { pairs, delay },
+                &delay_for,
+            );
+        }
+        Frame::MigrateReq { pairs, .. } => {
+            dispatch_pairs(
+                router,
+                shared,
+                correlation,
+                reply,
+                scratch,
+                pairs,
+                |pairs, delay| ShardWork::Install { pairs, delay },
+                &delay_for,
+            );
+        }
+        Frame::RemoveReq { fingerprints, .. } => {
+            let involved = involved_subs(router, &fingerprints);
+            if involved.is_empty() {
+                let _ = reply.send(encode_reusing(&Frame::Ack { correlation }, scratch));
+                return;
+            }
+            let shard_of_slot: Vec<usize> = involved.iter().map(|(s, _)| *s).collect();
+            let job = new_job(
+                JobKind::Ack,
+                correlation,
+                0,
+                ReplyTo::Data(reply),
+                shared,
+                vec![Vec::new(); shard_of_slot.len()],
+                shard_of_slot,
+            );
+            for (k, (shard, sub)) in involved.into_iter().enumerate() {
+                let delay = delay_for(k, sub.fingerprints.len());
+                let _ = shared.workers[shard].send(ShardTask::Work {
+                    job: Arc::clone(&job),
+                    slot: k,
+                    work: ShardWork::Remove {
+                        fps: sub.fingerprints,
+                        delay,
+                    },
+                });
+            }
+        }
+        Frame::ScanRangeReq {
+            range,
+            after,
+            limit,
+            ..
+        } => {
+            // Shards before the cursor's shard hold only smaller
+            // fingerprints — skip them.
+            let start = after.map(|fp| router.shard_of(&fp)).unwrap_or(0);
+            let shard_of_slot: Vec<usize> = (start..router.count()).collect();
+            let job = new_job(
+                JobKind::ScanRange {
+                    limit: limit as usize,
+                },
+                correlation,
+                0,
+                ReplyTo::Data(reply),
+                shared,
+                vec![Vec::new(); shard_of_slot.len()],
+                shard_of_slot.clone(),
+            );
+            for (k, shard) in shard_of_slot.into_iter().enumerate() {
+                let _ = shared.workers[shard].send(ShardTask::Work {
+                    job: Arc::clone(&job),
+                    slot: k,
+                    work: ShardWork::ScanRange {
+                        range,
+                        after,
+                        limit: limit as usize + 1,
+                    },
+                });
+            }
+        }
+        Frame::Ping { .. } => {
+            let _ = reply.send(encode_reusing(&Frame::Pong { correlation }, scratch));
+        }
+        other => {
+            let _ = reply.send(encode_reusing(
+                &error_frame(correlation, &format!("unexpected frame at node: {other:?}")),
+                scratch,
+            ));
+        }
+    }
+}
+
+/// Routes `(fingerprint, value)` pairs by shard and fans them out under
+/// an ack-merged job.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_pairs(
+    router: &ShardRouter,
+    shared: &Arc<NodeShared>,
+    correlation: u64,
+    reply: Sender<Bytes>,
+    scratch: &mut BytesMut,
+    pairs: Vec<(Fingerprint, u64)>,
+    make_work: impl Fn(Vec<(Fingerprint, u64)>, Duration) -> ShardWork,
+    delay_for: &dyn Fn(usize, usize) -> Duration,
+) {
+    let mut by_shard: Vec<Vec<(Fingerprint, u64)>> = vec![Vec::new(); router.count()];
+    for (fp, value) in pairs {
+        by_shard[router.shard_of(&fp)].push((fp, value));
+    }
+    let involved: Vec<(usize, Vec<(Fingerprint, u64)>)> = by_shard
+        .into_iter()
+        .enumerate()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .collect();
+    if involved.is_empty() {
+        let _ = reply.send(encode_reusing(&Frame::Ack { correlation }, scratch));
+        return;
+    }
+    let shard_of_slot: Vec<usize> = involved.iter().map(|(s, _)| *s).collect();
+    let job = new_job(
+        JobKind::Ack,
+        correlation,
+        0,
+        ReplyTo::Data(reply),
+        shared,
+        vec![Vec::new(); shard_of_slot.len()],
+        shard_of_slot,
+    );
+    for (k, (shard, sub_pairs)) in involved.into_iter().enumerate() {
+        let delay = delay_for(k, sub_pairs.len());
+        let _ = shared.workers[shard].send(ShardTask::Work {
+            job: Arc::clone(&job),
+            slot: k,
+            work: make_work(sub_pairs, delay),
+        });
+    }
+}
+
+/// The non-empty sub-batches of a frame, tagged with their shard index.
+fn involved_subs(router: &ShardRouter, fps: &[Fingerprint]) -> Vec<(usize, SubBatch)> {
+    router
+        .split(fps)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, sub)| !sub.fingerprints.is_empty())
+        .collect()
+}
+
+/// Decomposes involved sub-batches into the parallel vectors a job needs.
+type SplitParts = (Vec<Vec<usize>>, Vec<usize>, Vec<Vec<Fingerprint>>);
+fn split_parts(involved: Vec<(usize, SubBatch)>) -> SplitParts {
+    let mut positions = Vec::with_capacity(involved.len());
+    let mut shards = Vec::with_capacity(involved.len());
+    let mut fps = Vec::with_capacity(involved.len());
+    for (shard, sub) in involved {
+        positions.push(sub.positions);
+        shards.push(shard);
+        fps.push(sub.fingerprints);
+    }
+    (positions, shards, fps)
+}
+
+/// Fans a control command out to every shard under a merged job.
+fn broadcast_control(shared: &Arc<NodeShared>, kind: JobKind, reply: Sender<ControlReply>) {
+    let work_of = |kind: &JobKind| match kind {
+        JobKind::Stats => ShardWork::Stats,
+        JobKind::Flush => ShardWork::Flush,
+        JobKind::Scan => ShardWork::Scan,
+        _ => unreachable!("only control kinds broadcast"),
+    };
+    let shard_of_slot: Vec<usize> = (0..shared.workers.len()).collect();
+    let job = new_job(
+        kind,
+        0,
+        0,
+        ReplyTo::Control(reply),
+        shared,
+        vec![Vec::new(); shard_of_slot.len()],
+        shard_of_slot.clone(),
+    );
+    for (k, shard) in shard_of_slot.into_iter().enumerate() {
+        let work = work_of(&job.kind);
+        let _ = shared.workers[shard].send(ShardTask::Work {
+            job: Arc::clone(&job),
+            slot: k,
+            work,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
-    use shhc_node::NodeConfig;
+    use shhc_node::{NodeConfig, ShardedNode};
     use shhc_types::StreamId;
 
     fn spawn_test_node() -> (Sender<NodeRequest>, std::thread::JoinHandle<()>) {
@@ -270,10 +1156,18 @@ mod tests {
         (tx, handle)
     }
 
+    fn spawn_test_sharded(shards: u32) -> (Sender<NodeRequest>, std::thread::JoinHandle<()>) {
+        let config = NodeConfig::small_test().with_shards(shards);
+        let node = ShardedNode::new(NodeId::new(0), config.clone()).unwrap();
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || sharded_node_loop(config, node.into_shards(), rx));
+        (tx, handle)
+    }
+
     fn rpc(tx: &Sender<NodeRequest>, frame: Frame) -> Frame {
         let (reply_tx, reply_rx) = unbounded();
         tx.send(NodeRequest::Data {
-            frame: encode(&frame),
+            frame: shhc_net::encode(&frame),
             reply: reply_tx,
         })
         .unwrap();
@@ -457,6 +1351,7 @@ mod tests {
             ControlReply::Stats(snap) => {
                 assert_eq!(snap.entries, 1);
                 assert_eq!(snap.stats.ram_hits, 1);
+                assert_eq!(snap.shards, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -467,6 +1362,107 @@ mod tests {
         })
         .unwrap();
         assert!(matches!(ctl_rx.recv().unwrap(), ControlReply::Done));
+        handle.join().unwrap();
+    }
+
+    /// The sharded server answers the full frame vocabulary exactly like
+    /// the single-threaded loop.
+    #[test]
+    fn sharded_server_round_trip_matches_baseline() {
+        let (base_tx, base_handle) = spawn_test_node();
+        let (shard_tx, shard_handle) = spawn_test_sharded(4);
+        let fps: Vec<Fingerprint> = (0..40)
+            .map(|i: u64| Fingerprint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let mut correlation = 0u64;
+        let mut both = |frame_of: &dyn Fn(u64) -> Frame| {
+            correlation += 1;
+            let a = rpc(&base_tx, frame_of(correlation));
+            let b = rpc(&shard_tx, frame_of(correlation));
+            assert_eq!(a, b, "replies diverge");
+            a
+        };
+        let lookup = |fps: Vec<Fingerprint>| {
+            move |correlation: u64| Frame::LookupInsertReq {
+                correlation,
+                stream: StreamId::new(0),
+                fingerprints: fps.clone(),
+            }
+        };
+        both(&lookup(fps.clone()));
+        both(&lookup(fps[..10].to_vec()));
+        both(&|correlation| Frame::QueryReq {
+            correlation,
+            fingerprints: fps.clone(),
+        });
+        both(&|correlation| Frame::RecordReq {
+            correlation,
+            pairs: fps.iter().map(|f| (*f, f.route_key() % 97)).collect(),
+        });
+        both(&|correlation| Frame::RemoveReq {
+            correlation,
+            fingerprints: fps[..7].to_vec(),
+        });
+        both(&|correlation| Frame::QueryReq {
+            correlation,
+            fingerprints: fps.clone(),
+        });
+        both(&|correlation| Frame::Ping { correlation });
+        // Cursor-paged scans agree page by page.
+        let mut after = None;
+        loop {
+            let scan = |correlation: u64| Frame::ScanRangeReq {
+                correlation,
+                range: shhc_types::KeyRange::full(),
+                after,
+                limit: 6,
+            };
+            match both(&scan) {
+                Frame::ScanRangeResp { pairs, done, .. } => {
+                    after = pairs.last().map(|(fp, _)| *fp);
+                    if done {
+                        break;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Control plane: merged stats count the same entries.
+        let (ctl_tx, ctl_rx) = unbounded();
+        shard_tx
+            .send(NodeRequest::Control {
+                msg: ControlMsg::Stats,
+                reply: ctl_tx,
+            })
+            .unwrap();
+        match ctl_rx.recv().unwrap() {
+            ControlReply::Stats(snap) => {
+                assert_eq!(snap.entries, 33);
+                assert_eq!(snap.shards, 4);
+                assert_eq!(snap.stats.inserted, 40);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(base_tx);
+        drop(shard_tx);
+        base_handle.join().unwrap();
+        shard_handle.join().unwrap();
+    }
+
+    /// Dropping the request channel (a kill) stops the dispatcher and
+    /// its workers without a shutdown message.
+    #[test]
+    fn sharded_server_stops_on_disconnect() {
+        let (tx, handle) = spawn_test_sharded(3);
+        rpc(
+            &tx,
+            Frame::LookupInsertReq {
+                correlation: 1,
+                stream: StreamId::new(0),
+                fingerprints: vec![Fingerprint::from_u64(1)],
+            },
+        );
+        drop(tx);
         handle.join().unwrap();
     }
 }

@@ -99,6 +99,23 @@ pub struct DeviceStats {
     pub busy: Nanos,
 }
 
+impl DeviceStats {
+    /// Sums counters across devices — a sharded node reports one
+    /// aggregate for its per-shard flash slices. `busy` adds up too: it
+    /// is total device *work*, not wall-clock (shards run concurrently).
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a DeviceStats>) -> DeviceStats {
+        parts
+            .into_iter()
+            .fold(DeviceStats::default(), |mut acc, p| {
+                acc.reads += p.reads;
+                acc.programs += p.programs;
+                acc.erases += p.erases;
+                acc.busy += p.busy;
+                acc
+            })
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PageState {
     Erased,

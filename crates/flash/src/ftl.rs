@@ -22,6 +22,19 @@ pub struct FtlStats {
 }
 
 impl FtlStats {
+    /// Sums counters across FTL instances (the per-shard flash slices of
+    /// a sharded node). The merged write amplification stays well-defined
+    /// on all-idle shards: zero user programs reports 1.0.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a FtlStats>) -> FtlStats {
+        parts.into_iter().fold(FtlStats::default(), |mut acc, p| {
+            acc.user_programs += p.user_programs;
+            acc.gc_programs += p.gc_programs;
+            acc.gc_reads += p.gc_reads;
+            acc.gc_runs += p.gc_runs;
+            acc
+        })
+    }
+
     /// Write amplification: total programs / user programs (1.0 when GC
     /// has not had to relocate anything yet).
     pub fn write_amplification(&self) -> f64 {

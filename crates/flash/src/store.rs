@@ -94,6 +94,11 @@ pub struct StoreStats {
     pub flash_probes: u64,
     /// Total flash pages scanned by `get` calls.
     pub pages_scanned: u64,
+    /// Probes in a [`FlashStore::get_batch`] that shared a bucket's page
+    /// walk with at least one other probe of the same batch — each one a
+    /// device read the batch did *not* pay compared to issuing the
+    /// lookups individually.
+    pub coalesced_probes: u64,
     /// Records currently believed live (puts − deletes).
     pub live_records: u64,
     /// Bucket flushes performed.
@@ -256,6 +261,69 @@ impl FlashStore {
             }
         }
         Ok(None)
+    }
+
+    /// Batched [`FlashStore::get`] with **coalesced flash reads**: probes
+    /// destined for the same bucket share one newest-first walk of the
+    /// bucket's page chain, so a page read charged once on the device
+    /// serves every still-unresolved probe of that bucket — the
+    /// amortization an SSD-resident table invites when lookups arrive in
+    /// batches. Answers are position-parallel to `fps` and identical to
+    /// issuing the `get`s one at a time (the RAM write buffer is checked
+    /// first and the newest on-flash record wins, tombstones included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/FTL errors (corruption of the page chain).
+    pub fn get_batch(&mut self, fps: &[Fingerprint]) -> Result<Vec<Option<u64>>> {
+        let mut out = vec![None; fps.len()];
+        // (bucket, index) pairs for the probes the buffer cannot answer,
+        // sorted so each bucket's probes group into one chain walk.
+        let mut probes: Vec<(usize, usize)> = Vec::with_capacity(fps.len());
+        for (i, fp) in fps.iter().enumerate() {
+            if let Some(pending) = self.write_buffer.get(fp) {
+                self.stats.buffer_hits += 1;
+                out[i] = *pending;
+            } else {
+                self.stats.flash_probes += 1;
+                probes.push((self.bucket_of(*fp), i));
+            }
+        }
+        probes.sort_unstable();
+        let mut at = 0;
+        while at < probes.len() {
+            let bucket = probes[at].0;
+            let mut group: Vec<usize> = Vec::new();
+            while at < probes.len() && probes[at].0 == bucket {
+                group.push(probes[at].1);
+                at += 1;
+            }
+            if group.len() > 1 {
+                self.stats.coalesced_probes += group.len() as u64 - 1;
+            }
+            // Walk the chain newest-first once for the whole group; a
+            // probe resolves at the first page holding its fingerprint
+            // (scan_page already yields the newest record within a page).
+            let chain: Vec<u64> = self.buckets[bucket].pages.iter().rev().copied().collect();
+            let mut unresolved = group;
+            for lpa in chain {
+                if unresolved.is_empty() {
+                    break;
+                }
+                let (data, _) = self.ftl.read(lpa)?;
+                self.stats.pages_scanned += 1;
+                let mut still = Vec::with_capacity(unresolved.len());
+                for i in unresolved {
+                    match scan_page(&data, fps[i])? {
+                        Some(RecordHit::Live(v)) => out[i] = Some(v),
+                        Some(RecordHit::Tombstone) => {} // resolved: absent
+                        None => still.push(i),
+                    }
+                }
+                unresolved = still;
+            }
+        }
+        Ok(out)
     }
 
     /// Inserts or overwrites a fingerprint's value.
@@ -874,6 +942,85 @@ mod tests {
             }
         }
         assert!(filled.is_some(), "tiny device must eventually fill");
+    }
+
+    #[test]
+    fn get_batch_matches_individual_gets() {
+        let mut s = store();
+        for i in 0..400u64 {
+            s.put(Fingerprint::from_u64(i), i * 3).unwrap();
+        }
+        for i in (0..400u64).step_by(5) {
+            s.delete(Fingerprint::from_u64(i)).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 300..360u64 {
+            s.put(Fingerprint::from_u64(i), i + 1_000).unwrap(); // buffered overwrites
+        }
+        let fps: Vec<Fingerprint> = (0..500u64).map(Fingerprint::from_u64).collect();
+        let batch = s.get_batch(&fps).unwrap();
+        for (fp, got) in fps.iter().zip(&batch) {
+            assert_eq!(*got, s.get(*fp).unwrap(), "{fp}");
+        }
+    }
+
+    #[test]
+    fn get_batch_coalesces_same_bucket_reads() {
+        // One bucket: every record shares a chain, so a batch probe walks
+        // it once while individual gets walk it once *per fingerprint*.
+        let cfg = FlashConfig {
+            geometry: FlashGeometry::new(512, 8, 128),
+            latency: FlashLatency::zero(),
+            overprovision: 0.25,
+            buckets: 1,
+            write_buffer: 64,
+        };
+        let fps: Vec<Fingerprint> = (0..48u64).map(Fingerprint::from_u64).collect();
+        let mut batch_store = FlashStore::new(cfg).unwrap();
+        for (i, fp) in fps.iter().enumerate() {
+            batch_store.put(*fp, i as u64).unwrap();
+        }
+        batch_store.flush().unwrap();
+        let reads_before = batch_store.device_stats().reads;
+        let answers = batch_store.get_batch(&fps).unwrap();
+        assert!(answers
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v == Some(i as u64)));
+        let batch_reads = batch_store.device_stats().reads - reads_before;
+
+        let mut single_store = FlashStore::new(cfg).unwrap();
+        for (i, fp) in fps.iter().enumerate() {
+            single_store.put(*fp, i as u64).unwrap();
+        }
+        single_store.flush().unwrap();
+        let reads_before = single_store.device_stats().reads;
+        for fp in &fps {
+            single_store.get(*fp).unwrap();
+        }
+        let single_reads = single_store.device_stats().reads - reads_before;
+
+        assert!(
+            batch_reads * 4 <= single_reads,
+            "coalesced batch paid {batch_reads} page reads, individual gets {single_reads}"
+        );
+        assert_eq!(
+            batch_store.stats().coalesced_probes,
+            fps.len() as u64 - 1,
+            "all but the group's first probe share the walk"
+        );
+    }
+
+    #[test]
+    fn get_batch_of_absent_fingerprints_shares_the_chain_walk() {
+        let mut s = store();
+        for i in 0..100u64 {
+            s.put(Fingerprint::from_u64(i), i).unwrap();
+        }
+        s.flush().unwrap();
+        let absent: Vec<Fingerprint> = (1_000..1_040u64).map(Fingerprint::from_u64).collect();
+        let answers = s.get_batch(&absent).unwrap();
+        assert!(answers.iter().all(|v| v.is_none()));
     }
 
     proptest! {

@@ -49,5 +49,6 @@ pub use model::NetModel;
 pub use shared::{CloseReason, ClosedBatch, SharedBatcher, SharedBatcherStats, Submitted, Ticket};
 pub use transport::{duplex, ChannelTransport, TransportStats};
 pub use wire::{
-    decode, encode, encode_into, encoded_len, lookup_req_len, lookup_resp_len, Frame, WIRE_VERSION,
+    decode, encode, encode_into, encode_reusing, encoded_len, lookup_req_len, lookup_resp_len,
+    Frame, WIRE_VERSION,
 };

@@ -50,6 +50,13 @@ pub struct NodeConfig {
     /// concurrency bench turns this up to make the batching dial visible
     /// in wall-clock terms.
     pub batch_overhead: std::time::Duration,
+    /// Number of intra-node shards. `1` (the default) is the paper's
+    /// single-threaded node, served by one server thread; `> 1` splits
+    /// the node's fingerprint range into that many prefix-routed
+    /// [`crate::ShardedNode`] shards, each owning its own RAM cache,
+    /// bloom filter and flash slice, executed by a per-shard worker pool
+    /// in the cluster server (one core per shard).
+    pub shards: u32,
 }
 
 impl NodeConfig {
@@ -67,12 +74,23 @@ impl NodeConfig {
             ram_probe: Nanos::new(500),
             service_delay: std::time::Duration::ZERO,
             batch_overhead: std::time::Duration::ZERO,
+            shards: 1,
         }
     }
 
     /// A tiny node for unit tests: 64-entry cache, small flash, zero
     /// device latency.
+    ///
+    /// Honors the `SHHC_TEST_SHARDS` environment variable: when set to a
+    /// shard count the whole test suite (cluster behavior, membership
+    /// churn, …) runs against **sharded** nodes unmodified — CI uses this
+    /// to prove the migration/drain/rebalance machinery is shard-agnostic.
     pub fn small_test() -> Self {
+        let shards = std::env::var("SHHC_TEST_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(1);
         NodeConfig {
             cache_capacity: 64,
             cache_policy: CachePolicy::Lru,
@@ -83,7 +101,47 @@ impl NodeConfig {
             ram_probe: Nanos::new(100),
             service_delay: std::time::Duration::ZERO,
             batch_overhead: std::time::Duration::ZERO,
+            shards,
         }
+    }
+
+    /// Returns this configuration with the given intra-node shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The per-shard configuration of one slice of this node: the SSD
+    /// geometry, RAM write buffer, cache capacity and bloom sizing are
+    /// divided across the shards (a shard owns a *slice* of the node's
+    /// hardware, not a copy), with floors that keep each slice viable —
+    /// enough spare blocks for FTL garbage collection and at least one
+    /// cache/write-buffer entry. With `shards <= 1` the configuration is
+    /// returned unchanged.
+    pub fn shard_slice(&self) -> NodeConfig {
+        let s = self.shards.max(1);
+        let mut cfg = self.clone();
+        cfg.shards = 1;
+        if s == 1 {
+            return cfg;
+        }
+        // GC needs ≈2 blocks of spare pages: blocks * overprovision ≥ 2.
+        let min_blocks = (2.0 / self.flash.overprovision).ceil() as u32 + 1;
+        cfg.flash.geometry.blocks = (self.flash.geometry.blocks / s).max(min_blocks);
+        // The bucket directory shrinks with the slice (rounded down to a
+        // power of two) — every occupied bucket pins at least one flash
+        // page, so a full-size directory over a sliced device would
+        // exhaust the logical address space long before the slice fills.
+        let buckets = (self.flash.buckets / s as usize).max(1);
+        cfg.flash.buckets = if buckets.is_power_of_two() {
+            buckets
+        } else {
+            buckets.next_power_of_two() / 2
+        };
+        cfg.flash.write_buffer = (self.flash.write_buffer / s as usize).max(1);
+        cfg.cache_capacity = (self.cache_capacity / s as usize).max(1);
+        cfg.bloom_expected = (self.bloom_expected / u64::from(s)).max(1);
+        cfg
     }
 }
 
@@ -96,6 +154,25 @@ pub enum LookupOutcome {
     SsdHit,
     /// Fingerprint was new; inserted (the "send the data" answer).
     Inserted,
+}
+
+/// Per-fingerprint decision of a [`HybridHashNode::classify_batch`]
+/// pass — the read half of a lookup-insert, split from the write half
+/// ([`HybridHashNode::apply_inserts`]) so a sharded node can classify
+/// shards concurrently, assign insert values in frame order at the
+/// merge, and only then apply the writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classified {
+    /// The fingerprint is already stored; carries its value.
+    Hit(u64),
+    /// First sighting in this frame: absent from the node, to be
+    /// inserted with a merge-assigned value.
+    New,
+    /// Repeat of a fingerprint already classified [`Classified::New`]
+    /// earlier in the same frame — it exists *for the client* (same
+    /// chunk, no second upload) and resolves to the first occurrence's
+    /// assigned value.
+    NewDup,
 }
 
 /// Result of one lookup-insert.
@@ -146,12 +223,37 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Sums counters across shards into one node-level aggregate.
+    ///
+    /// Idle (all-zero) shards contribute nothing — the merged
+    /// [`NodeStats::ops`] and [`NodeStats::ram_hit_ratio`] are computed
+    /// from the summed raw counters, never by averaging per-shard ratios
+    /// (which would divide by zero on an empty shard and weight a
+    /// one-lookup shard like a million-lookup one). `busy` sums too: it
+    /// is aggregate virtual *work*, not wall-clock — shards execute
+    /// concurrently.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a NodeStats>) -> NodeStats {
+        parts.into_iter().fold(NodeStats::default(), |mut acc, p| {
+            acc.ram_hits += p.ram_hits;
+            acc.ssd_hits += p.ssd_hits;
+            acc.inserted += p.inserted;
+            acc.bloom_skips += p.bloom_skips;
+            acc.bloom_false_positives += p.bloom_false_positives;
+            acc.queries += p.queries;
+            acc.migrated_in += p.migrated_in;
+            acc.busy += p.busy;
+            acc
+        })
+    }
+
     /// Total lookup-insert operations.
     pub fn ops(&self) -> u64 {
         self.ram_hits + self.ssd_hits + self.inserted
     }
 
-    /// Fraction of duplicate detections served from RAM.
+    /// Fraction of duplicate detections served from RAM; 0.0 when no
+    /// duplicate was ever detected (a fresh or empty node), so merged and
+    /// per-shard stats alike never divide by zero.
     pub fn ram_hit_ratio(&self) -> f64 {
         let dups = self.ram_hits + self.ssd_hits;
         if dups == 0 {
@@ -473,6 +575,163 @@ impl HybridHashNode {
             values,
             cost,
         })
+    }
+
+    /// The read half of a batched lookup-insert: classifies every
+    /// fingerprint as [`Classified::Hit`] (present, with its value),
+    /// [`Classified::New`] (absent, to be inserted) or
+    /// [`Classified::NewDup`] (repeat of a `New` earlier in this batch)
+    /// **without writing anything**. SSD probes the bloom filter cannot
+    /// rule out are deferred and issued as one coalesced
+    /// [`FlashStore::get_batch`], so misses destined for the same
+    /// on-flash bucket page share a single device read.
+    ///
+    /// Combined with [`HybridHashNode::apply_inserts`] this produces
+    /// exactly the answers of [`HybridHashNode::lookup_insert_batch`]:
+    /// the split exists so a sharded node can classify shards
+    /// concurrently and assign insert values in frame order in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn classify_batch(&mut self, fps: &[Fingerprint]) -> Result<Vec<Classified>> {
+        let mut out = vec![Classified::New; fps.len()];
+        // Fingerprints classified New in this batch (not yet applied).
+        let mut pending: shhc_types::FpHashSet<Fingerprint> = Default::default();
+        let mut probe_idx: Vec<usize> = Vec::new();
+        let mut probe_fps: Vec<Fingerprint> = Vec::new();
+        let per_op = self.config.cpu_per_op + self.config.ram_probe;
+        for (i, fp) in fps.iter().enumerate() {
+            self.charge(per_op);
+            if pending.contains(fp) {
+                self.stats.ram_hits += 1;
+                out[i] = Classified::NewDup;
+                continue;
+            }
+            if let Some(cached) = self.cache.get(fp) {
+                self.stats.ram_hits += 1;
+                out[i] = Classified::Hit(cached);
+                continue;
+            }
+            if !self.bloom.contains(fp.as_bytes()) {
+                self.stats.bloom_skips += 1;
+                pending.insert(*fp);
+                continue; // out[i] stays New
+            }
+            probe_idx.push(i);
+            probe_fps.push(*fp);
+        }
+        if !probe_fps.is_empty() {
+            let before = self.store.busy();
+            let found = self.store.get_batch(&probe_fps)?;
+            let probe_cost = self.store.busy() - before;
+            self.charge(probe_cost);
+            for (k, &i) in probe_idx.iter().enumerate() {
+                let fp = probe_fps[k];
+                if pending.contains(&fp) {
+                    self.stats.ram_hits += 1;
+                    out[i] = Classified::NewDup;
+                    continue;
+                }
+                match found[k] {
+                    Some(v) => {
+                        self.stats.ssd_hits += 1;
+                        self.cache.insert(fp, v);
+                        out[i] = Classified::Hit(v);
+                    }
+                    None => {
+                        self.stats.bloom_false_positives += 1;
+                        pending.insert(fp);
+                        // out[i] stays New
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The write half of a batched lookup-insert: registers the entries a
+    /// [`HybridHashNode::classify_batch`] pass decided were new, with the
+    /// values the merge assigned. Counted as client inserts (not
+    /// migration).
+    ///
+    /// The write is presence-checked: on a concurrently-driven sharded
+    /// node another frame may have applied the same fingerprint between
+    /// this frame's classify and apply, and a blind re-insert would
+    /// double-count the live record. A late duplicate degrades to a
+    /// value overwrite (both clients were told "send the data" — the
+    /// benign redundant-copy race the backup service resolves) and is
+    /// counted as an SSD-detected duplicate, keeping
+    /// [`NodeStats::ops`] at one operation per fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first device error, leaving earlier insertions done.
+    pub fn apply_inserts(&mut self, pairs: &[(Fingerprint, u64)]) -> Result<()> {
+        for &(fp, value) in pairs {
+            let mut cost = Nanos::ZERO;
+            let present = if self.bloom.contains(fp.as_bytes()) {
+                let before = self.store.busy();
+                let found = self.store.get(fp)?;
+                cost += self.store.busy() - before;
+                found.is_some()
+            } else {
+                false
+            };
+            if present {
+                cost += self.charged_store(|s| s.update(fp, value))?;
+                self.stats.ssd_hits += 1;
+            } else {
+                cost += self.charged_store(|s| s.put(fp, value))?;
+                self.bloom.insert(fp.as_bytes());
+                self.stats.inserted += 1;
+            }
+            self.cache.insert(fp, value);
+            self.charge(cost);
+        }
+        Ok(())
+    }
+
+    /// Batched [`HybridHashNode::query`] with coalesced SSD probes:
+    /// returns position-parallel existence flags and values (zero for
+    /// misses). Answers are identical to querying one at a time; bloom
+    /// positives share bucket page reads via
+    /// [`FlashStore::get_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn query_many(&mut self, fps: &[Fingerprint]) -> Result<(Vec<bool>, Vec<u64>)> {
+        self.stats.queries += fps.len() as u64;
+        let mut exists = vec![false; fps.len()];
+        let mut values = vec![0u64; fps.len()];
+        let mut probe_idx: Vec<usize> = Vec::new();
+        let mut probe_fps: Vec<Fingerprint> = Vec::new();
+        let per_op = self.config.cpu_per_op + self.config.ram_probe;
+        for (i, fp) in fps.iter().enumerate() {
+            self.charge(per_op);
+            if let Some(cached) = self.cache.get(fp) {
+                exists[i] = true;
+                values[i] = cached;
+            } else if self.bloom.contains(fp.as_bytes()) {
+                probe_idx.push(i);
+                probe_fps.push(*fp);
+            }
+        }
+        if !probe_fps.is_empty() {
+            let before = self.store.busy();
+            let found = self.store.get_batch(&probe_fps)?;
+            let probe_cost = self.store.busy() - before;
+            self.charge(probe_cost);
+            for (k, &i) in probe_idx.iter().enumerate() {
+                if let Some(v) = found[k] {
+                    self.cache.insert(probe_fps[k], v);
+                    exists[i] = true;
+                    values[i] = v;
+                }
+            }
+        }
+        Ok((exists, values))
     }
 
     /// Flushes the SSD write buffer (e.g. at end of a backup window).

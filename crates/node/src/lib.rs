@@ -37,8 +37,13 @@
 
 mod energy;
 mod hybrid;
+mod sharded;
 
 pub use energy::EnergyModel;
 pub use hybrid::{
-    BatchResult, CachePolicy, HybridHashNode, LookupOutcome, LookupResult, NodeConfig, NodeStats,
+    BatchResult, CachePolicy, Classified, HybridHashNode, LookupOutcome, LookupResult, NodeConfig,
+    NodeStats,
+};
+pub use sharded::{
+    merge_classified, MergedLookup, ShardRouter, ShardedNode, SubBatch, SubClassified,
 };

@@ -1,0 +1,694 @@
+//! Intra-node sharding: one hybrid node split into prefix-routed shards.
+//!
+//! The paper scales SHHC *across* machines but runs each hybrid hash
+//! node as one sequential server, so a node can never exploit more than
+//! one core. This module partitions a node's fingerprint range into `S`
+//! contiguous routing-key slices ([`ShardRouter`]); each shard owns its
+//! own RAM cache, bloom filter and flash slice (a full
+//! [`HybridHashNode`] built from [`NodeConfig::shard_slice`]). Because a
+//! fingerprint's shard is a pure function of its routing-key prefix, the
+//! shards are a true partition: every operation routes to exactly one
+//! shard, and cross-shard order equals fingerprint order (the routing
+//! key is the fingerprint's first eight bytes), which keeps scans and
+//! migration cursors deterministic.
+//!
+//! Batched lookup-inserts run in three steps so insert values stay
+//! frame-ordered no matter how shards are scheduled:
+//!
+//! 1. **classify** — each shard resolves its slice of the frame
+//!    read-only ([`HybridHashNode::classify_batch`], with coalesced
+//!    flash reads),
+//! 2. **merge** — [`merge_classified`] walks the frame in arrival order,
+//!    allocating one value per first-sighting and resolving in-frame
+//!    repeats,
+//! 3. **apply** — each shard registers its new entries
+//!    ([`HybridHashNode::apply_inserts`]).
+//!
+//! [`ShardedNode`] drives the three steps sequentially (the reference
+//! semantics — the equivalence suite proves it answers byte-identically
+//! to a [`HybridHashNode`]); the cluster server runs step 1 and 3 on a
+//! per-shard worker pool, one core per shard.
+
+use shhc_cache::CacheStats;
+use shhc_flash::{DeviceStats, FtlStats};
+use shhc_types::{Fingerprint, FpHashMap, KeyRange, Nanos, NodeId, Result};
+
+use crate::hybrid::{BatchResult, Classified, HybridHashNode, LookupResult, NodeConfig, NodeStats};
+
+/// Routes fingerprints to intra-node shards by routing-key prefix.
+///
+/// Shard `s` of `S` owns the contiguous routing-key slice
+/// `[s·2⁶⁴/S, (s+1)·2⁶⁴/S)`, so the shard index is monotone in the
+/// routing key and the shards partition the fingerprint space exactly.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_node::ShardRouter;
+/// use shhc_types::Fingerprint;
+///
+/// let router = ShardRouter::new(4);
+/// // u64::MAX / 2 sits just below the midpoint: last key of shard 1.
+/// assert_eq!(router.shard_of(&Fingerprint::from_u64(u64::MAX / 2)), 1);
+/// assert_eq!(router.shard_of(&Fingerprint::from_u64(u64::MAX / 2 + 1)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` slices (clamped to at least 1).
+    pub fn new(shards: u32) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `fp` — the fixed-point product
+    /// `⌊route_key · S / 2⁶⁴⌋`, i.e. the index of the contiguous
+    /// routing-key slice the fingerprint's prefix falls in.
+    pub fn shard_of(&self, fp: &Fingerprint) -> usize {
+        ((u128::from(fp.route_key()) * u128::from(self.shards)) >> 64) as usize
+    }
+
+    /// Splits a position-ordered batch into one [`SubBatch`] per shard
+    /// (empty sub-batches included, so index `s` is always shard `s`).
+    /// Each fingerprint lands in exactly one sub-batch, in its original
+    /// relative order, alongside its position in the caller's batch.
+    pub fn split(&self, fps: &[Fingerprint]) -> Vec<SubBatch> {
+        let mut subs: Vec<SubBatch> = (0..self.count()).map(|_| SubBatch::default()).collect();
+        for (i, fp) in fps.iter().enumerate() {
+            let sub = &mut subs[self.shard_of(fp)];
+            sub.positions.push(i);
+            sub.fingerprints.push(*fp);
+        }
+        subs
+    }
+}
+
+/// One shard's slice of a batch: the fingerprints routed to it, parallel
+/// to their positions in the original batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubBatch {
+    /// Positions in the original batch, ascending.
+    pub positions: Vec<usize>,
+    /// The slice's fingerprints, parallel to `positions`.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+/// One shard's classified slice of a lookup-insert frame, ready for the
+/// frame-order merge.
+#[derive(Debug, Clone)]
+pub struct SubClassified {
+    /// Positions in the original batch, ascending.
+    pub positions: Vec<usize>,
+    /// The slice's fingerprints, parallel to `positions`.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Per-fingerprint decisions, parallel to `positions`.
+    pub classes: Vec<Classified>,
+}
+
+/// The merged outcome of a classified lookup-insert frame.
+#[derive(Debug, Clone)]
+pub struct MergedLookup {
+    /// Per-fingerprint existence, parallel to the frame.
+    pub exists: Vec<bool>,
+    /// Per-fingerprint values, parallel to the frame: the stored value
+    /// for hits, the newly assigned value for inserts (mirroring
+    /// [`BatchResult::values`]).
+    pub values: Vec<u64>,
+    /// Per-sub-slice `(fingerprint, value)` insert lists, parallel to
+    /// the `subs` argument of [`merge_classified`] — each shard applies
+    /// its own list.
+    pub inserts: Vec<Vec<(Fingerprint, u64)>>,
+}
+
+/// Merges per-shard classifications back into one frame answer,
+/// allocating insert values in **frame arrival order** via `alloc` —
+/// exactly the order a sequential [`HybridHashNode`] would have assigned
+/// them, regardless of how the shards were scheduled. In-frame repeats
+/// ([`Classified::NewDup`]) resolve to their first occurrence's value.
+pub fn merge_classified(
+    total: usize,
+    subs: &[SubClassified],
+    mut alloc: impl FnMut() -> u64,
+) -> MergedLookup {
+    // Scatter each position's (sub, offset) so the walk below runs in
+    // global frame order.
+    let mut at: Vec<(usize, usize)> = vec![(usize::MAX, 0); total];
+    for (si, sub) in subs.iter().enumerate() {
+        for (k, &pos) in sub.positions.iter().enumerate() {
+            at[pos] = (si, k);
+        }
+    }
+    let mut exists = vec![false; total];
+    let mut values = vec![0u64; total];
+    let mut inserts: Vec<Vec<(Fingerprint, u64)>> = vec![Vec::new(); subs.len()];
+    let mut assigned: FpHashMap<Fingerprint, u64> = FpHashMap::default();
+    for pos in 0..total {
+        let (si, k) = at[pos];
+        debug_assert_ne!(si, usize::MAX, "sub-batches must cover every position");
+        let sub = &subs[si];
+        let fp = sub.fingerprints[k];
+        match sub.classes[k] {
+            Classified::Hit(v) => {
+                exists[pos] = true;
+                values[pos] = v;
+            }
+            Classified::New => {
+                let v = alloc();
+                assigned.insert(fp, v);
+                inserts[si].push((fp, v));
+                values[pos] = v;
+            }
+            Classified::NewDup => {
+                exists[pos] = true;
+                values[pos] = *assigned
+                    .get(&fp)
+                    .expect("NewDup follows its New in frame order");
+            }
+        }
+    }
+    MergedLookup {
+        exists,
+        values,
+        inserts,
+    }
+}
+
+/// A hybrid hash node split into prefix-routed shards — the intra-node
+/// scaling counterpart of [`HybridHashNode`], answering **byte-identically**
+/// to it for every operation (the equivalence suite drives both against
+/// randomized interleavings).
+///
+/// This type drives its shards sequentially and is the semantic
+/// reference; the cluster server distributes the same shards across a
+/// worker pool for real multi-core execution. Statistics aggregate
+/// across shards via the `merge` constructors
+/// ([`NodeStats::merge`], [`CacheStats::merge`], …).
+///
+/// # Examples
+///
+/// ```
+/// use shhc_node::{NodeConfig, ShardedNode};
+/// use shhc_types::{Fingerprint, NodeId};
+///
+/// # fn main() -> Result<(), shhc_types::Error> {
+/// let config = NodeConfig::small_test().with_shards(4);
+/// let mut node = ShardedNode::new(NodeId::new(0), config)?;
+/// let fp = Fingerprint::from_u64(7);
+/// assert!(!node.lookup_insert(fp)?.existed);
+/// assert!(node.lookup_insert(fp)?.existed);
+/// assert_eq!(node.entries(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedNode {
+    id: NodeId,
+    config: NodeConfig,
+    router: ShardRouter,
+    shards: Vec<HybridHashNode>,
+    next_value: u64,
+}
+
+impl ShardedNode {
+    /// Creates a node with `config.shards` shards, each built from
+    /// [`NodeConfig::shard_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash-configuration errors from any shard.
+    pub fn new(id: NodeId, config: NodeConfig) -> Result<Self> {
+        let router = ShardRouter::new(config.shards);
+        let slice = config.shard_slice();
+        let shards = (0..router.count())
+            .map(|_| HybridHashNode::new(id, slice.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedNode {
+            id,
+            config,
+            router,
+            shards,
+            next_value: 0,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node-level configuration (shard slices derive from it).
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The shard router (for callers that partition work themselves).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Decomposes the node into its shards (shard order preserved) — the
+    /// cluster server moves each onto its own worker thread.
+    pub fn into_shards(self) -> Vec<HybridHashNode> {
+        self.shards
+    }
+
+    /// Merged node counters across shards.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats::merge(
+            self.shards
+                .iter()
+                .map(HybridHashNode::stats)
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+    }
+
+    /// Merged RAM cache counters across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let parts: Vec<CacheStats> = self
+            .shards
+            .iter()
+            .map(HybridHashNode::cache_stats)
+            .collect();
+        CacheStats::merge(parts.iter())
+    }
+
+    /// Merged flash device counters across shard slices.
+    pub fn device_stats(&self) -> DeviceStats {
+        let parts: Vec<DeviceStats> = self
+            .shards
+            .iter()
+            .map(HybridHashNode::device_stats)
+            .collect();
+        DeviceStats::merge(parts.iter())
+    }
+
+    /// Merged FTL counters across shard slices.
+    pub fn ftl_stats(&self) -> FtlStats {
+        let parts: Vec<FtlStats> = self.shards.iter().map(HybridHashNode::ftl_stats).collect();
+        FtlStats::merge(parts.iter())
+    }
+
+    /// Fingerprints stored across all shards (live records).
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(HybridHashNode::entries).sum()
+    }
+
+    /// RAM cache occupancy across all shards.
+    pub fn cached_entries(&self) -> usize {
+        self.shards.iter().map(HybridHashNode::cached_entries).sum()
+    }
+
+    /// The paper's lookup-insert over one fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn lookup_insert(&mut self, fp: Fingerprint) -> Result<LookupResult> {
+        let batch = self.lookup_insert_batch(std::slice::from_ref(&fp))?;
+        Ok(LookupResult {
+            existed: batch.exists[0],
+            outcome: if batch.exists[0] {
+                // The tier that answered is a per-shard detail; existence
+                // and value are what the wire carries.
+                crate::hybrid::LookupOutcome::RamHit
+            } else {
+                crate::hybrid::LookupOutcome::Inserted
+            },
+            value: batch.values[0],
+            cost: batch.cost,
+        })
+    }
+
+    /// Batched lookup-insert: classify each shard's slice, merge in
+    /// frame order (allocating insert values exactly as a sequential
+    /// [`HybridHashNode`] would), then apply the inserts per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn lookup_insert_batch(&mut self, fps: &[Fingerprint]) -> Result<BatchResult> {
+        let subs = self.router.split(fps);
+        let mut classified: Vec<SubClassified> = Vec::new();
+        let mut involved: Vec<usize> = Vec::new();
+        let mut cost = Nanos::ZERO;
+        for (s, sub) in subs.into_iter().enumerate() {
+            if sub.fingerprints.is_empty() {
+                continue;
+            }
+            let before = self.shards[s].stats().busy;
+            let classes = self.shards[s].classify_batch(&sub.fingerprints)?;
+            cost += self.shards[s].stats().busy - before;
+            involved.push(s);
+            classified.push(SubClassified {
+                positions: sub.positions,
+                fingerprints: sub.fingerprints,
+                classes,
+            });
+        }
+        let next = &mut self.next_value;
+        let merged = merge_classified(fps.len(), &classified, || {
+            let v = *next;
+            *next += 1;
+            v
+        });
+        for (&s, pairs) in involved.iter().zip(&merged.inserts) {
+            if pairs.is_empty() {
+                continue;
+            }
+            let before = self.shards[s].stats().busy;
+            self.shards[s].apply_inserts(pairs)?;
+            cost += self.shards[s].stats().busy - before;
+        }
+        Ok(BatchResult {
+            exists: merged.exists,
+            values: merged.values,
+            cost,
+        })
+    }
+
+    /// Read-only batched existence query (no insertion on miss), with
+    /// per-shard coalesced flash reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn query_many(&mut self, fps: &[Fingerprint]) -> Result<(Vec<bool>, Vec<u64>)> {
+        let mut exists = vec![false; fps.len()];
+        let mut values = vec![0u64; fps.len()];
+        for (s, sub) in self.router.split(fps).into_iter().enumerate() {
+            if sub.fingerprints.is_empty() {
+                continue;
+            }
+            let (e, v) = self.shards[s].query_many(&sub.fingerprints)?;
+            for ((&pos, e), v) in sub.positions.iter().zip(e).zip(v) {
+                exists[pos] = e;
+                values[pos] = v;
+            }
+        }
+        Ok((exists, values))
+    }
+
+    /// Sets the value stored with a fingerprint (upsert), on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn record(&mut self, fp: Fingerprint, value: u64) -> Result<Nanos> {
+        self.shard_mut(&fp).record(fp, value)
+    }
+
+    /// Installs a migrated entry if absent, on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn install(&mut self, fp: Fingerprint, value: u64) -> Result<bool> {
+        self.shard_mut(&fp).install(fp, value)
+    }
+
+    /// Removes a fingerprint from its shard (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn remove(&mut self, fp: Fingerprint) -> Result<()> {
+        self.shard_mut(&fp).remove(fp)
+    }
+
+    /// Flushes every shard's SSD write buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn flush(&mut self) -> Result<Nanos> {
+        let mut cost = Nanos::ZERO;
+        for shard in &mut self.shards {
+            cost += shard.flush()?;
+        }
+        Ok(cost)
+    }
+
+    /// Scans every fingerprint stored on the node, in ascending
+    /// fingerprint order: shard slices are contiguous routing-key
+    /// ranges, so concatenating per-shard (sorted) scans in shard order
+    /// is already globally sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn scan(&mut self) -> Result<Vec<(Fingerprint, u64)>> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.scan()?);
+        }
+        Ok(out)
+    }
+
+    /// One page of a cursor-driven range scan, byte-identical to
+    /// [`HybridHashNode::scan_range`]: shards are walked in fingerprint
+    /// order starting at the cursor's shard, over-fetching one entry to
+    /// decide `done` exactly as the unsharded scan does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn scan_range(
+        &mut self,
+        range: KeyRange,
+        after: Option<Fingerprint>,
+        limit: usize,
+    ) -> Result<(Vec<(Fingerprint, u64)>, bool)> {
+        let start = after.map(|fp| self.router.shard_of(&fp)).unwrap_or(0);
+        let mut out: Vec<(Fingerprint, u64)> = Vec::new();
+        for s in start..self.shards.len() {
+            let want = limit + 1 - out.len();
+            let (page, _) = self.shards[s].scan_range(range, after, want)?;
+            out.extend(page);
+            if out.len() > limit {
+                break;
+            }
+        }
+        let done = out.len() <= limit;
+        out.truncate(limit);
+        Ok((out, done))
+    }
+
+    fn shard_mut(&mut self, fp: &Fingerprint) -> &mut HybridHashNode {
+        let s = self.router.shard_of(fp);
+        &mut self.shards[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::from_u64(v)
+    }
+
+    /// Fingerprints spread over the routing-key space.
+    fn spread(i: u64) -> Fingerprint {
+        fp(i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
+    }
+
+    fn sharded(s: u32) -> ShardedNode {
+        ShardedNode::new(NodeId::new(0), NodeConfig::small_test().with_shards(s)).expect("config")
+    }
+
+    #[test]
+    fn router_slices_are_contiguous_and_cover_the_key_space() {
+        for s in 1..=9u32 {
+            let router = ShardRouter::new(s);
+            // Boundaries: shard k starts exactly at ⌈k·2⁶⁴/S⌉.
+            for k in 0..u128::from(s) {
+                let lo = (k << 64).div_ceil(u128::from(s)) as u64;
+                assert_eq!(router.shard_of(&fp(lo)), k as usize, "S={s} k={k} lo");
+                if lo > 0 {
+                    assert_eq!(
+                        router.shard_of(&fp(lo - 1)),
+                        (k as usize).saturating_sub(1),
+                        "S={s} k={k} below lo"
+                    );
+                }
+            }
+            assert_eq!(router.shard_of(&fp(u64::MAX)), s as usize - 1);
+        }
+    }
+
+    #[test]
+    fn split_preserves_positions_and_order() {
+        let router = ShardRouter::new(5);
+        let fps: Vec<Fingerprint> = (0..200).map(spread).collect();
+        let subs = router.split(&fps);
+        assert_eq!(subs.len(), 5);
+        let mut seen = vec![false; fps.len()];
+        for (s, sub) in subs.iter().enumerate() {
+            assert_eq!(sub.positions.len(), sub.fingerprints.len());
+            for w in sub.positions.windows(2) {
+                assert!(w[0] < w[1], "positions must stay in arrival order");
+            }
+            for (&pos, f) in sub.positions.iter().zip(&sub.fingerprints) {
+                assert_eq!(*f, fps[pos]);
+                assert_eq!(router.shard_of(f), s);
+                assert!(!seen[pos], "position {pos} routed twice");
+                seen[pos] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every position routed");
+    }
+
+    #[test]
+    fn sharded_node_matches_hybrid_on_a_mixed_stream() {
+        for s in [1u32, 2, 3, 4, 7, 8] {
+            let mut reference =
+                HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap();
+            let mut node = sharded(s);
+            // Mixed batches with in-batch duplicates and revisits.
+            for round in 0..6u64 {
+                let batch: Vec<Fingerprint> =
+                    (0..64).map(|i| spread((round * 40 + i) % 150)).collect();
+                let want = reference.lookup_insert_batch(&batch).unwrap();
+                let got = node.lookup_insert_batch(&batch).unwrap();
+                assert_eq!(got.exists, want.exists, "S={s} round={round}");
+                assert_eq!(got.values, want.values, "S={s} round={round}");
+            }
+            assert_eq!(node.entries(), reference.entries());
+            assert_eq!(node.scan().unwrap(), reference.scan().unwrap());
+            assert_eq!(node.stats().ops(), reference.stats().ops());
+        }
+    }
+
+    #[test]
+    fn scan_range_pages_match_hybrid_exactly() {
+        let mut reference = HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap();
+        let mut node = sharded(4);
+        for i in 0..300 {
+            reference.lookup_insert(spread(i)).unwrap();
+        }
+        let all: Vec<Fingerprint> = (0..300).map(spread).collect();
+        node.lookup_insert_batch(&all).unwrap();
+        for range in [
+            KeyRange::full(),
+            KeyRange::new(0, u64::MAX / 2),
+            KeyRange::new(u64::MAX / 4 * 3, u64::MAX / 4), // wrapping
+        ] {
+            let mut cursor = None;
+            loop {
+                let want = reference.scan_range(range, cursor, 11).unwrap();
+                let got = node.scan_range(range, cursor, 11).unwrap();
+                assert_eq!(got, want, "range {range:?} cursor {cursor:?}");
+                cursor = want.0.last().map(|(f, _)| *f);
+                if want.1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let mut node = sharded(4);
+        let batch: Vec<Fingerprint> = (0..100).map(spread).collect();
+        node.lookup_insert_batch(&batch).unwrap();
+        node.lookup_insert_batch(&batch).unwrap();
+        let s = node.stats();
+        assert_eq!(s.ops(), 200);
+        assert_eq!(s.inserted, 100);
+        assert_eq!(s.ram_hits + s.ssd_hits, 100);
+        assert!(s.ram_hit_ratio() > 0.0);
+        assert!(s.busy > Nanos::ZERO);
+        assert_eq!(node.entries(), 100);
+        assert!(node.cache_stats().lookups() > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Shard routing is a true partition of the fingerprint space:
+        /// every fingerprint lands on exactly one in-range shard, the
+        /// shard index is monotone in the routing key (contiguous
+        /// slices), and batch splitting is a permutation of positions.
+        #[test]
+        fn prop_routing_partitions_the_key_space(
+            shards in 1u32..=8,
+            keys in proptest::collection::vec(0u64..=u64::MAX, 1..200),
+        ) {
+            let router = ShardRouter::new(shards);
+            let fps: Vec<Fingerprint> = keys.iter().map(|&k| fp(k)).collect();
+            let mut keyed: Vec<(u64, usize)> = keys
+                .iter()
+                .map(|&k| (k, router.shard_of(&fp(k))))
+                .collect();
+            for &(k, s) in &keyed {
+                prop_assert!(s < shards as usize, "key {k:#x} routed to shard {s}");
+            }
+            keyed.sort_unstable();
+            for w in keyed.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1, "shard index must be monotone in the key");
+            }
+            let subs = router.split(&fps);
+            let covered: usize = subs.iter().map(|s| s.positions.len()).sum();
+            prop_assert_eq!(covered, fps.len(), "split must cover every position once");
+            for (s, sub) in subs.iter().enumerate() {
+                for f in &sub.fingerprints {
+                    prop_assert_eq!(router.shard_of(f), s);
+                }
+            }
+        }
+
+        /// A sharded node (any S) answers exactly like the sequential
+        /// reference under random lookup/remove/record interleavings.
+        #[test]
+        fn prop_sharded_matches_reference(
+            shards in 1u32..=8,
+            keys in proptest::collection::vec(0u64..120, 1..150),
+        ) {
+            let mut reference =
+                HybridHashNode::new(NodeId::new(0), NodeConfig::small_test()).unwrap();
+            let mut node = sharded(shards);
+            for (i, &k) in keys.iter().enumerate() {
+                let f = spread(k);
+                match k % 7 {
+                    0 => {
+                        reference.remove(f).unwrap();
+                        node.remove(f).unwrap();
+                    }
+                    1 => {
+                        reference.record(f, k * 10).unwrap();
+                        node.record(f, k * 10).unwrap();
+                    }
+                    2 => {
+                        let a = reference.install(f, k).unwrap();
+                        let b = node.install(f, k).unwrap();
+                        prop_assert_eq!(a, b, "install at op {i}");
+                    }
+                    _ => {
+                        let want = reference.lookup_insert_batch(&[f]).unwrap();
+                        let got = node.lookup_insert_batch(&[f]).unwrap();
+                        prop_assert_eq!(got.exists, want.exists, "lookup at op {i}");
+                        prop_assert_eq!(got.values, want.values, "value at op {i}");
+                    }
+                }
+            }
+            prop_assert_eq!(node.entries(), reference.entries());
+            prop_assert_eq!(node.scan().unwrap(), reference.scan().unwrap());
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //! - [`characterize`] — measures Table I's columns from a trace,
 //! - [`mix`] — the "4 mixed workloads" stream used for Figures 5 and 6,
 //! - [`MultiClientSpec`] — K concurrent clients (disjoint shards, paced
-//!   open-loop arrivals) for the shared-front-end experiments.
+//!   open-loop arrivals) for the shared-front-end experiments,
+//! - [`spread_fingerprint`] / [`spread_batches`] — ring-uniform unique
+//!   fingerprint streams for the wall-clock benches.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ mod io;
 mod mixer;
 mod multi;
 pub mod presets;
+mod spread;
 
 pub use charact::{characterize, TraceCharacteristics};
 pub use dataset::{Dataset, DatasetSpec, MutationSpec};
@@ -45,3 +48,4 @@ pub use generate::{Trace, TraceGenerator, TraceSpec};
 pub use io::{load_trace, save_trace};
 pub use mixer::mix;
 pub use multi::MultiClientSpec;
+pub use spread::{spread_batches, spread_fingerprint};

@@ -1,0 +1,67 @@
+//! Ring-uniform synthetic fingerprints for wall-clock benches.
+//!
+//! The wall-clock harnesses (node scaling, front-end concurrency,
+//! intra-node parallelism) need streams of *unique* fingerprints whose
+//! routing keys spread over the hash ring the way real SHA-1 output
+//! does, without paying for real hashing. A golden-ratio multiply of a
+//! counter gives exactly that: deterministic, collision-free and
+//! uniform in the leading 64 bits.
+
+use shhc_types::Fingerprint;
+
+/// Weyl-sequence step: the odd integer closest to 2⁶⁴/φ.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The `k`-th ring-uniform fingerprint: distinct `k` give distinct
+/// fingerprints whose routing keys are spread uniformly over the ring.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_workload::spread_fingerprint;
+///
+/// assert_ne!(spread_fingerprint(0), spread_fingerprint(1));
+/// ```
+pub fn spread_fingerprint(k: u64) -> Fingerprint {
+    Fingerprint::from_u64(k.wrapping_mul(GOLDEN_GAMMA).rotate_left(31))
+}
+
+/// `batches` consecutive batches of `batch_size` unique ring-uniform
+/// fingerprints — the sustained all-new ingest stream the wall-clock
+/// scaling benches replay (once for ingest, once for the dedup pass).
+pub fn spread_batches(batches: usize, batch_size: usize) -> Vec<Vec<Fingerprint>> {
+    (0..batches)
+        .map(|b| {
+            (0..batch_size)
+                .map(|i| spread_fingerprint((b * batch_size + i) as u64))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_unique_and_spread() {
+        let stream = spread_batches(4, 256);
+        let flat: Vec<Fingerprint> = stream.iter().flatten().copied().collect();
+        let mut dedup: Vec<Fingerprint> = flat.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), flat.len(), "fingerprints must be unique");
+        // Quartile balance: a uniform spread puts ~25% in each quarter
+        // of the ring.
+        let mut quarters = [0usize; 4];
+        for fp in &flat {
+            quarters[(fp.route_key() >> 62) as usize] += 1;
+        }
+        for q in quarters {
+            assert!(
+                (180..=330).contains(&q),
+                "skewed ring quarter: {quarters:?}"
+            );
+        }
+    }
+}

@@ -33,9 +33,14 @@ impl Bytes {
         Bytes::from(bytes.to_vec())
     }
 
-    /// Copies `data` into a new buffer.
+    /// Copies `data` into a new buffer — one allocation and one copy,
+    /// straight into the shared storage (no intermediate `Vec`).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Length of the view in bytes.
