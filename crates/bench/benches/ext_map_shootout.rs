@@ -1,0 +1,309 @@
+//! Extension — index-backend shootout: single-writer vs concurrent maps.
+//!
+//! The node's mirror index (PR 6) can run on three backends: the
+//! single-mutex baseline, a striped-`RwLock` map, and an epoch-validated
+//! COW snapshot map. This harness runs the **identical** seeded
+//! operation mix against every backend under the node's execution model
+//! and sweeps the reader count:
+//!
+//! - **baseline** (`readers = 0`) — the paper's single-writer node: one
+//!   thread serves every operation, reads serialized behind writes,
+//! - **pooled** (`readers = R`) — one writer thread applies all
+//!   mutations while `R` reader threads split the gets, exactly how the
+//!   cluster server's reader pool drives a concurrent mirror.
+//!
+//! As in the other wall-clock harnesses, per-operation service time
+//! (CPU + RAM probe) is a **true sleep**, charged per 64-op frame — so
+//! reader concurrency is visible in wall-clock terms on any host, even
+//! a single-core CI box where CPU-bound threads cannot overlap. Each
+//! cell is also re-run with zero service time ("raw" rows,
+//! `service_ns = 0`): pure map cost under the same thread population,
+//! where multi-core hosts show the backends' lock behavior directly.
+//! Every row reports the backend's contention counters (`lock_waits`,
+//! `read_retries`) so a slow cell is attributable, not a mystery.
+//!
+//! Two mixes:
+//! - read-dominant (95 % gets) — the dedup-query traffic a reader pool
+//!   exists for; the best concurrent backend must beat the single-writer
+//!   baseline ≥ 2× at 8 readers,
+//! - write-heavy (50 % gets) — where stripe locking and snapshot
+//!   publishes have to prove they cost little (target: ≥ 0.9× the
+//!   baseline, i.e. no real regression).
+//!
+//! Emits `results/ext_map_shootout.csv` plus `BENCH_map_shootout.json`
+//! at the workspace root. Set `SHHC_MAP_SHOOTOUT_QUICK=1` for a
+//! sub-second CI smoke run.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use shhc_bench::{banner, map_shootout_quick, write_bench_json, write_csv};
+use shhc_index::{AnyIndex, BackendKind, Collection, CollectionHandle};
+use shhc_types::Fingerprint;
+use shhc_workload::{split_op_mix, MapOp, OpMixSpec};
+
+/// Operations per service frame: the batching the node's data plane
+/// already does, and the granularity the service sleep is charged at.
+const FRAME: usize = 64;
+
+struct Cell {
+    backend: BackendKind,
+    mix: &'static str,
+    readers: usize,
+    service: Duration,
+    ops: u64,
+    elapsed: Duration,
+    ops_per_sec: f64,
+    lock_waits: u64,
+    read_retries: u64,
+}
+
+/// Executes one thread's op stream: per [`FRAME`] ops, sleep the
+/// frame's service share, then run the map operations.
+fn drive_stream(
+    handle: &mut impl CollectionHandle<Key = Fingerprint, Value = u64>,
+    stream: &[MapOp],
+    per_op: Duration,
+) {
+    for frame in stream.chunks(FRAME) {
+        let service = per_op * frame.len() as u32;
+        if !service.is_zero() {
+            std::thread::sleep(service);
+        }
+        for op in frame {
+            match op {
+                MapOp::Get(fp) => {
+                    std::hint::black_box(handle.get(fp));
+                }
+                MapOp::Insert(fp, value) => {
+                    handle.insert(*fp, *value);
+                }
+                MapOp::Remove(fp) => {
+                    handle.remove(fp);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one (backend, mix, readers, service) cell. `readers = 0` is the
+/// single-writer baseline: one thread executes the whole mix in order.
+/// `readers = R` is the pooled model: a writer thread drains the
+/// serialized mutation stream while `R` reader threads drain their read
+/// streams, all released together by a barrier.
+fn run_cell(backend: BackendKind, spec: &OpMixSpec, readers: usize, per_op: Duration) -> Cell {
+    let index: AnyIndex<Fingerprint, u64> = AnyIndex::new(backend, spec.keyspace as usize);
+    let mut prefill_handle = index.pin();
+    for (fp, value) in spec.prefill() {
+        prefill_handle.insert(fp, value);
+    }
+    let ops = spec.generate();
+    let start;
+    if readers == 0 {
+        start = Instant::now();
+        drive_stream(&mut prefill_handle, &ops, per_op);
+    } else {
+        let (read_streams, writes) = split_op_mix(&ops, readers);
+        let barrier = Barrier::new(readers + 2);
+        start = Instant::now();
+        std::thread::scope(|scope| {
+            for stream in &read_streams {
+                let mut handle = index.pin();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    drive_stream(&mut handle, stream, per_op);
+                });
+            }
+            let mut handle = index.pin();
+            let barrier = &barrier;
+            let writes = &writes;
+            scope.spawn(move || {
+                barrier.wait();
+                drive_stream(&mut handle, writes, per_op);
+            });
+            barrier.wait();
+        });
+    }
+    let elapsed = start.elapsed();
+    let stats = index.stats();
+    Cell {
+        backend,
+        mix: spec.name,
+        readers,
+        service: per_op,
+        ops: ops.len() as u64,
+        elapsed,
+        ops_per_sec: ops.len() as f64 / elapsed.as_secs_f64(),
+        lock_waits: stats.lock_waits,
+        read_retries: stats.read_retries,
+    }
+}
+
+fn main() {
+    let quick = map_shootout_quick();
+    let (ops, keyspace, per_op, reader_counts) = if quick {
+        (
+            8_192usize,
+            4_096u64,
+            Duration::from_micros(1),
+            vec![2usize, 4],
+        )
+    } else {
+        (
+            262_144usize,
+            65_536u64,
+            Duration::from_micros(2),
+            vec![1, 2, 4, 8, 16],
+        )
+    };
+    banner(
+        "Extension — index-backend shootout: single writer vs reader pools",
+        "a concurrent mirror backend turns reader threads into real read \
+         throughput the paper's single-writer node serializes away, and on a \
+         write-heavy mix costs nothing measurable",
+    );
+    println!(
+        "mode: {}, {ops} ops per cell, keyspace {keyspace}, {} µs/op simulated \
+         service time (charged per {FRAME}-op frame), reader sweep {reader_counts:?}\n",
+        if quick { "quick (CI smoke)" } else { "full" },
+        per_op.as_micros(),
+    );
+    let mixes = [
+        OpMixSpec::read_dominant(ops, keyspace, 42),
+        OpMixSpec::write_heavy(ops, keyspace, 42),
+    ];
+    println!(
+        "{:>14} {:>8} {:>8} {:>11} {:>14} {:>11} {:>11} {:>12}",
+        "mix",
+        "backend",
+        "readers",
+        "service_us",
+        "ops/sec",
+        "vs 1-thread",
+        "lock_waits",
+        "read_retries"
+    );
+    let mut rows = Vec::new();
+    let mut cells: Vec<(Cell, f64)> = Vec::new();
+    for spec in &mixes {
+        for service in [per_op, Duration::ZERO] {
+            // The single-writer baseline of this (mix, service) block:
+            // every speedup is measured against it.
+            let baseline = run_cell(BackendKind::Single, spec, 0, service);
+            let base_ops_per_sec = baseline.ops_per_sec;
+            let mut report = |cell: Cell| {
+                let speedup = cell.ops_per_sec / base_ops_per_sec;
+                println!(
+                    "{:>14} {:>8} {:>8} {:>11} {:>14.0} {:>10.2}x {:>11} {:>12}",
+                    cell.mix,
+                    cell.backend.to_string(),
+                    cell.readers,
+                    cell.service.as_micros(),
+                    cell.ops_per_sec,
+                    speedup,
+                    cell.lock_waits,
+                    cell.read_retries
+                );
+                rows.push(format!(
+                    "{},{},{},{},{},{:.3},{:.0},{speedup:.3},{},{}",
+                    cell.mix,
+                    cell.backend,
+                    cell.readers,
+                    cell.service.as_nanos(),
+                    cell.ops,
+                    cell.elapsed.as_secs_f64() * 1e3,
+                    cell.ops_per_sec,
+                    cell.lock_waits,
+                    cell.read_retries
+                ));
+                cells.push((cell, speedup));
+            };
+            report(baseline);
+            for &readers in &reader_counts {
+                for backend in BackendKind::ALL {
+                    report(run_cell(backend, spec, readers, service));
+                }
+            }
+            println!();
+        }
+    }
+
+    let best_at = |mix: &str, readers: usize| {
+        cells
+            .iter()
+            .filter(|(c, _)| {
+                c.mix == mix
+                    && c.readers == readers
+                    && c.backend.concurrent()
+                    && !c.service.is_zero()
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    };
+    let deep = reader_counts
+        .iter()
+        .copied()
+        .filter(|&r| r <= 8)
+        .max()
+        .unwrap_or(1);
+    println!("checks (simulated-service rows):");
+    if let Some((cell, speedup)) = best_at("read_dominant", deep) {
+        println!(
+            "  best concurrent backend, read-dominant @ {} readers: {} at {speedup:.2}x \
+             (target: ≥ 2x the single-writer baseline)",
+            cell.readers, cell.backend
+        );
+    }
+    if let Some((cell, speedup)) = best_at("write_heavy", deep) {
+        println!(
+            "  best concurrent backend, write-heavy @ {} readers: {} at {speedup:.2}x \
+             (target: ≥ 0.9x — no regression when half the stream mutates)",
+            cell.readers, cell.backend
+        );
+    }
+
+    // Quick (smoke) runs write under a distinct name so they can never
+    // clobber the committed full-run artifacts.
+    write_csv(
+        if quick {
+            "ext_map_shootout_quick"
+        } else {
+            "ext_map_shootout"
+        },
+        "mix,backend,readers,service_ns,ops,elapsed_ms,ops_per_sec,speedup_vs_single_writer,lock_waits,read_retries",
+        &rows,
+    );
+    if quick {
+        println!("quick mode: skipping BENCH_map_shootout.json (full-run record)");
+        return;
+    }
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|(c, speedup)| {
+            format!(
+                "    {{\"mix\": \"{}\", \"backend\": \"{}\", \"readers\": {}, \
+                 \"service_ns\": {}, \"ops_per_sec\": {:.0}, \
+                 \"speedup_vs_single_writer\": {speedup:.3}, \
+                 \"lock_waits\": {}, \"read_retries\": {}}}",
+                c.mix,
+                c.backend,
+                c.readers,
+                c.service.as_nanos(),
+                c.ops_per_sec,
+                c.lock_waits,
+                c.read_retries
+            )
+        })
+        .collect();
+    write_bench_json(
+        "map_shootout",
+        &format!(
+            "{{\n  \"bench\": \"ext_map_shootout\",\n  \"quick\": {quick},\n  \
+             \"ops_per_cell\": {ops},\n  \"keyspace\": {keyspace},\n  \
+             \"service_ns_per_op\": {},\n  \"frame_ops\": {FRAME},\n  \
+             \"reader_sweep\": {reader_counts:?},\n  \"results\": [\n{}\n  ]\n}}\n",
+            per_op.as_nanos(),
+            entries.join(",\n")
+        ),
+    );
+}

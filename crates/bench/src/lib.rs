@@ -57,6 +57,13 @@ pub fn node_parallelism_quick() -> bool {
     env_flag("SHHC_NODE_PARALLELISM_QUICK")
 }
 
+/// Quick mode for the index-backend shootout bench
+/// (`SHHC_MAP_SHOOTOUT_QUICK`): tiny op streams and reader sweep for a
+/// CI smoke run.
+pub fn map_shootout_quick() -> bool {
+    env_flag("SHHC_MAP_SHOOTOUT_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

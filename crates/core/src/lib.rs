@@ -69,7 +69,8 @@ pub use shhc_net::{SharedBatcherStats, Ticket};
 // Re-export the substrate APIs a downstream user needs alongside the
 // cluster, so `shhc` works as a single-dependency facade.
 pub use shhc_node::{
-    CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats, ShardRouter, ShardedNode,
+    BackendKind, CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats, ShardRouter,
+    ShardedNode,
 };
 pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Result, StreamId};
 

@@ -34,12 +34,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use shhc_cache::CacheStats;
 use shhc_flash::{DeviceStats, FtlStats};
+use shhc_index::{AnyIndex, Collection, CollectionHandle};
 use shhc_net::{decode, encode_reusing, Frame};
 use shhc_node::{
     merge_classified, Classified, HybridHashNode, NodeConfig, NodeStats, ShardRouter, SubBatch,
     SubClassified,
 };
-use shhc_types::{Fingerprint, KeyRange, NodeId};
+use shhc_types::{Fingerprint, KeyRange, Nanos, NodeId};
 
 /// A point-in-time view of one node's state, fetched over the control
 /// plane. For sharded nodes every counter is the across-shard aggregate.
@@ -60,6 +61,9 @@ pub struct NodeSnapshot {
     /// Intra-node shards executing on this node (1 = the single-threaded
     /// baseline loop).
     pub shards: u32,
+    /// Reader-pool threads attached to this node (0 = no pool; queries
+    /// are served by the owning server/worker threads).
+    pub readers: u32,
 }
 
 /// Control-plane commands (in-process only; not wire-encoded).
@@ -101,6 +105,7 @@ pub(crate) fn snapshot_of(node: &HybridHashNode) -> NodeSnapshot {
         device: node.device_stats(),
         ftl: node.ftl_stats(),
         shards: 1,
+        readers: 0,
     }
 }
 
@@ -119,6 +124,10 @@ fn merge_snapshots(parts: Vec<NodeSnapshot>) -> NodeSnapshot {
         device: DeviceStats::merge(device.iter()),
         ftl: FtlStats::merge(ftl.iter()),
         shards,
+        // Per-shard snapshots know nothing of the pool; the dispatcher's
+        // Stats job fills this in (and folds the pool counters) after
+        // merging.
+        readers: 0,
     }
 }
 
@@ -317,6 +326,99 @@ struct NodeShared {
     /// time, in frame order, so sequentially driven traffic receives
     /// exactly the values a single-threaded node would assign.
     next_value: AtomicU64,
+    /// The reader pool, present only when the node's backend is
+    /// concurrent and [`NodeConfig::readers`] `> 0`.
+    pool: Option<PoolShared>,
+}
+
+/// The dispatcher's handle on the reader pool.
+struct PoolShared {
+    /// The one MPMC queue every reader thread competes on. Read-only
+    /// query frames go here instead of the per-shard worker queues.
+    tx: Sender<PoolTask>,
+    /// Pool size — surfaced as [`NodeSnapshot::readers`].
+    readers: u32,
+    /// Counters the readers bump, folded into `Stats` snapshots.
+    stats: Arc<PoolStats>,
+}
+
+/// Counters shared by every reader thread of one node's pool.
+#[derive(Default)]
+struct PoolStats {
+    /// Fingerprints answered from the mirror indexes.
+    queries: AtomicU64,
+    /// Virtual busy time charged by the pool, in raw nanoseconds
+    /// (mirror answers are RAM-resident: CPU + one RAM probe per
+    /// fingerprint, never device time).
+    busy_nanos: AtomicU64,
+}
+
+/// A unit of work queued to the reader pool: one whole read-only frame.
+/// Unlike [`ShardTask`], pool tasks are not split per shard — any one
+/// reader answers the full frame, pinning a handle per shard mirror.
+enum PoolTask {
+    Query {
+        correlation: u64,
+        fps: Vec<Fingerprint>,
+        reply: Sender<Bytes>,
+        /// Artificial wall-clock service time for the frame; readers
+        /// sleep concurrently with each other and with the writers.
+        delay: Duration,
+    },
+    Shutdown,
+}
+
+/// One reader-pool thread: answers `QueryReq` frames from the shards'
+/// mirror indexes, competing with its siblings on the shared queue.
+/// Readers never touch the single-writer shard state, so a deep read
+/// burst cannot head-of-line-block writes — and a slow write frame
+/// cannot stall reads. Correctness leans on the write path updating the
+/// mirror *before* a mutation's reply is released: a client that has
+/// seen its ack will find the record here (read-your-writes), and the
+/// mirror tracks live store records exactly, so answers are
+/// byte-identical to the worker path's.
+fn pool_reader(
+    mirrors: Vec<AnyIndex<Fingerprint, u64>>,
+    per_op_cost: Nanos,
+    stats: Arc<PoolStats>,
+    rx: Receiver<PoolTask>,
+) {
+    let router = ShardRouter::new(mirrors.len() as u32);
+    let mut handles: Vec<_> = mirrors.iter().map(Collection::pin).collect();
+    let mut scratch = BytesMut::new();
+    while let Ok(task) = rx.recv() {
+        let PoolTask::Query {
+            correlation,
+            fps,
+            reply,
+            delay,
+        } = task
+        else {
+            break;
+        };
+        sleep_service(delay);
+        let mut exists = Vec::with_capacity(fps.len());
+        let mut values = Vec::with_capacity(fps.len());
+        for fp in &fps {
+            let hit = handles[router.shard_of(fp)].get(fp);
+            exists.push(hit.is_some());
+            values.push(hit.unwrap_or(0));
+        }
+        stats.queries.fetch_add(fps.len() as u64, Ordering::Relaxed);
+        stats.busy_nanos.fetch_add(
+            (per_op_cost * fps.len() as u64).as_nanos(),
+            Ordering::Relaxed,
+        );
+        let values = compact_values(&exists, &values);
+        let _ = reply.send(encode_reusing(
+            &Frame::LookupResp {
+                correlation,
+                exists,
+                values,
+            },
+            &mut scratch,
+        ));
+    }
 }
 
 /// A unit of work queued to one shard worker.
@@ -565,7 +667,18 @@ impl FrameJob {
                         _ => None,
                     })
                     .collect();
-                self.send_control(ControlReply::Stats(Box::new(merge_snapshots(parts))));
+                let mut snap = merge_snapshots(parts);
+                // Fold in the reader pool: queries it absorbed never
+                // touched a shard, so the shard counters alone would
+                // under-report the node's traffic and busy time.
+                if let Some(pool) = &self.shared.pool {
+                    let pool_q = pool.stats.queries.load(Ordering::Relaxed);
+                    snap.stats.queries += pool_q;
+                    snap.stats.pool_queries = pool_q;
+                    snap.stats.busy += Nanos::new(pool.stats.busy_nanos.load(Ordering::Relaxed));
+                    snap.readers = pool.readers;
+                }
+                self.send_control(ControlReply::Stats(Box::new(snap)));
             }
         }
     }
@@ -766,6 +879,7 @@ pub(crate) fn sharded_node_loop(
     rx: Receiver<NodeRequest>,
 ) {
     let router = ShardRouter::new(shards.len() as u32);
+    let node_id = shards.first().map(HybridHashNode::id).unwrap_or_default();
     let mut worker_txs = Vec::with_capacity(shards.len());
     let mut worker_rxs = Vec::with_capacity(shards.len());
     for _ in 0..shards.len() {
@@ -773,9 +887,32 @@ pub(crate) fn sharded_node_loop(
         worker_txs.push(tx);
         worker_rxs.push(wrx);
     }
+    // Reader pool: clone every shard's mirror index *before* the shards
+    // move into their worker threads. All-or-nothing — a pool that could
+    // only answer for some shards would have to bounce the rest back to
+    // the workers mid-frame.
+    let mirrors: Vec<AnyIndex<Fingerprint, u64>> = shards
+        .iter()
+        .filter_map(|s| s.mirror_index().cloned())
+        .collect();
+    let pool_on = config.wants_reader_pool() && mirrors.len() == shards.len();
+    let (pool, pool_rx) = if pool_on {
+        let (ptx, prx) = unbounded();
+        (
+            Some(PoolShared {
+                tx: ptx,
+                readers: config.readers,
+                stats: Arc::new(PoolStats::default()),
+            }),
+            Some(prx),
+        )
+    } else {
+        (None, None)
+    };
     let shared = Arc::new(NodeShared {
         workers: worker_txs,
         next_value: AtomicU64::new(0),
+        pool,
     });
     let handles: Vec<JoinHandle<()>> = shards
         .into_iter()
@@ -788,6 +925,22 @@ pub(crate) fn sharded_node_loop(
                 .expect("spawn shard worker")
         })
         .collect();
+    let mut reader_handles: Vec<JoinHandle<()>> = Vec::new();
+    if let Some(prx) = pool_rx {
+        let pool = shared.pool.as_ref().expect("pool channel implies pool");
+        let per_op_cost = config.cpu_per_op + config.ram_probe;
+        for r in 0..pool.readers {
+            let mirrors = mirrors.clone();
+            let stats = Arc::clone(&pool.stats);
+            let prx = prx.clone();
+            reader_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("shhc-{node_id}-r{r}"))
+                    .spawn(move || pool_reader(mirrors, per_op_cost, stats, prx))
+                    .expect("spawn pool reader"),
+            );
+        }
+    }
     let mut scratch = BytesMut::new();
     while let Ok(request) = rx.recv() {
         match request {
@@ -805,10 +958,18 @@ pub(crate) fn sharded_node_loop(
             },
         }
     }
+    if let Some(pool) = &shared.pool {
+        for _ in 0..pool.readers {
+            let _ = pool.tx.send(PoolTask::Shutdown);
+        }
+    }
     for tx in &shared.workers {
         let _ = tx.send(ShardTask::Shutdown);
     }
     for handle in handles {
+        let _ = handle.join();
+    }
+    for handle in reader_handles {
         let _ = handle.join();
     }
 }
@@ -913,6 +1074,22 @@ fn dispatch_data(
             }
         }
         Frame::QueryReq { fingerprints, .. } => {
+            // With a reader pool attached the whole read-only frame goes
+            // to the shared pool queue: whichever reader is idle answers
+            // it from the mirror indexes, and the shard workers (the
+            // write path) never see it. The frame is deliberately not
+            // split per shard — a pool reader holds a handle on *every*
+            // shard's mirror, so splitting would only add merge cost.
+            if let Some(pool) = &shared.pool {
+                let delay = delay_for(0, fingerprints.len());
+                let _ = pool.tx.send(PoolTask::Query {
+                    correlation,
+                    fps: fingerprints,
+                    reply,
+                    delay,
+                });
+                return;
+            }
             let involved = involved_subs(router, &fingerprints);
             if involved.is_empty() {
                 let _ = reply.send(encode_reusing(
@@ -1447,6 +1624,105 @@ mod tests {
         drop(shard_tx);
         base_handle.join().unwrap();
         shard_handle.join().unwrap();
+    }
+
+    fn spawn_test_pooled(
+        shards: u32,
+        backend: shhc_index::BackendKind,
+        readers: u32,
+    ) -> (Sender<NodeRequest>, std::thread::JoinHandle<()>) {
+        let config = NodeConfig::small_test()
+            .with_shards(shards)
+            .with_backend(backend)
+            .with_readers(readers);
+        let node = ShardedNode::new(NodeId::new(0), config.clone()).unwrap();
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || sharded_node_loop(config, node.into_shards(), rx));
+        (tx, handle)
+    }
+
+    fn node_stats(tx: &Sender<NodeRequest>) -> NodeSnapshot {
+        let (ctl_tx, ctl_rx) = unbounded();
+        tx.send(NodeRequest::Control {
+            msg: ControlMsg::Stats,
+            reply: ctl_tx,
+        })
+        .unwrap();
+        match ctl_rx.recv().unwrap() {
+            ControlReply::Stats(snap) => *snap,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A pooled node (readers answering queries from the mirror) replies
+    /// byte-identically to the single-threaded baseline across a
+    /// mutate-heavy sequence, for every concurrent backend and for both
+    /// the single-shard and multi-shard dispatchers.
+    #[test]
+    fn reader_pool_matches_baseline_replies() {
+        use shhc_index::BackendKind;
+        for backend in [BackendKind::Striped, BackendKind::Snapshot] {
+            for shards in [1u32, 4] {
+                let (base_tx, base_handle) = spawn_test_node();
+                let (pool_tx, pool_handle) = spawn_test_pooled(shards, backend, 3);
+                let fps: Vec<Fingerprint> = (0..40)
+                    .map(|i: u64| Fingerprint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                    .collect();
+                let mut correlation = 0u64;
+                let mut both = |frame_of: &dyn Fn(u64) -> Frame| {
+                    correlation += 1;
+                    let a = rpc(&base_tx, frame_of(correlation));
+                    let b = rpc(&pool_tx, frame_of(correlation));
+                    assert_eq!(a, b, "replies diverge ({backend}, {shards} shards)");
+                    a
+                };
+                both(&|correlation| Frame::QueryReq {
+                    correlation,
+                    fingerprints: fps.clone(),
+                });
+                both(&|correlation| Frame::LookupInsertReq {
+                    correlation,
+                    stream: StreamId::new(0),
+                    fingerprints: fps.clone(),
+                });
+                both(&|correlation| Frame::QueryReq {
+                    correlation,
+                    fingerprints: fps.clone(),
+                });
+                both(&|correlation| Frame::RecordReq {
+                    correlation,
+                    pairs: fps.iter().map(|f| (*f, f.route_key() % 97)).collect(),
+                });
+                both(&|correlation| Frame::RemoveReq {
+                    correlation,
+                    fingerprints: fps[..13].to_vec(),
+                });
+                // Read-your-writes through the pool: the removes above
+                // were acked, so the pool must already see them gone.
+                both(&|correlation| Frame::QueryReq {
+                    correlation,
+                    fingerprints: fps.clone(),
+                });
+                both(&|correlation| Frame::QueryReq {
+                    correlation,
+                    fingerprints: Vec::new(),
+                });
+                let snap = node_stats(&pool_tx);
+                assert_eq!(snap.shards, shards, "{backend}");
+                assert_eq!(snap.readers, 3, "{backend}");
+                // 4 query frames × 40 fps (the empty frame adds none),
+                // all absorbed by the pool, all counted as queries.
+                assert_eq!(snap.stats.pool_queries, 120, "{backend}");
+                assert_eq!(snap.stats.queries, 120, "{backend}");
+                let base = node_stats(&base_tx);
+                assert_eq!(base.readers, 0);
+                assert_eq!(base.stats.pool_queries, 0);
+                drop(base_tx);
+                drop(pool_tx);
+                base_handle.join().unwrap();
+                pool_handle.join().unwrap();
+            }
+        }
     }
 
     /// Dropping the request channel (a kill) stops the dispatcher and

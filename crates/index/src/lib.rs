@@ -1,0 +1,243 @@
+//! Pluggable concurrent shard-state backends for SHHC nodes.
+//!
+//! The paper's dedup workload is overwhelmingly *queries* against the
+//! RAM fingerprint index, yet through PR 5 every shard's RAM state was a
+//! single-writer structure owned by exactly one worker thread —
+//! parallelism stopped at the shard count regardless of cores. This
+//! crate factors the node's RAM index behind a map-bench-style
+//! [`Collection`]/[`CollectionHandle`] adapter pair and ships three
+//! interchangeable implementations:
+//!
+//! | backend | reads | writes | suited to |
+//! |---|---|---|---|
+//! | [`SingleWriterMap`] | serialize on one mutex | serialize | the retained baseline: one owner thread |
+//! | [`StripedMap`] | shared `RwLock` per stripe — readers never block readers | exclusive per stripe | balanced read/write mixes |
+//! | [`SnapshotMap`] | lock-free against an epoch-validated frozen snapshot | striped delta overlay, COW publish | read-dominant probe traffic |
+//!
+//! A [`Collection`] is the cheaply-cloneable shared structure; each
+//! thread *pins* it into a [`CollectionHandle`] it owns exclusively.
+//! For the locking backends a handle is just another reference; for
+//! [`SnapshotMap`] the handle caches the current frozen [`Arc`] snapshot
+//! and revalidates it with one atomic epoch load per operation, so the
+//! bulk of a read-mostly workload touches no lock at all.
+//!
+//! Contention is *measured*, not guessed: every backend counts
+//! [`IndexStats::lock_waits`] (a `try_lock` that failed and had to
+//! block) and [`IndexStats::read_retries`] (snapshot refreshes after a
+//! publish), which the node surfaces through `NodeStats` and
+//! `ClusterStats`. The `ext_map_shootout` bench sweeps every backend
+//! over reader-thread counts so the choice is a measured config knob.
+//!
+//! [`Arc`]: std::sync::Arc
+//!
+//! # Examples
+//!
+//! ```
+//! use shhc_index::{AnyIndex, BackendKind, Collection, CollectionHandle};
+//! use shhc_types::Fingerprint;
+//!
+//! let index: AnyIndex<Fingerprint, u64> = AnyIndex::new(BackendKind::Striped, 64);
+//! let mut handle = index.pin();
+//! let fp = Fingerprint::from_u64(7);
+//! assert_eq!(handle.insert(fp, 42), None);
+//! assert_eq!(handle.get(&fp), Some(42));
+//! assert_eq!(handle.remove(&fp), Some(42));
+//! assert_eq!(index.len(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod any;
+mod single;
+mod snapshot;
+mod stats;
+mod striped;
+
+pub use any::{AnyHandle, AnyIndex};
+pub use single::{SingleWriterHandle, SingleWriterMap};
+pub use snapshot::{SnapshotHandle, SnapshotMap};
+pub use stats::IndexStats;
+pub use striped::{StripedHandle, StripedMap};
+
+use std::hash::{BuildHasher, Hash};
+
+/// Marker bounds every index key must satisfy (fingerprints do).
+pub trait IndexKey: Hash + Eq + Clone + Send + Sync + 'static {}
+impl<T: Hash + Eq + Clone + Send + Sync + 'static> IndexKey for T {}
+
+/// Marker bounds every index value must satisfy.
+pub trait IndexValue: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> IndexValue for T {}
+
+/// A concurrent map shared between threads — the factory half of the
+/// adapter pair (map-bench's `Collection`).
+///
+/// Cloning a collection is cheap (an `Arc` bump) and yields another
+/// view of the *same* map. Each thread calls [`Collection::pin`] once
+/// and performs its operations through the returned handle.
+pub trait Collection: Clone + Send + Sync + 'static {
+    /// Key type.
+    type Key: IndexKey;
+    /// Value type.
+    type Value: IndexValue;
+    /// The per-thread accessor.
+    type Handle: CollectionHandle<Key = Self::Key, Value = Self::Value>;
+
+    /// Creates this thread's handle.
+    fn pin(&self) -> Self::Handle;
+
+    /// Contention counters accumulated so far (all handles combined).
+    fn stats(&self) -> IndexStats;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every live `(key, value)` pair, in unspecified order. Meant for
+    /// verification and tests, not the hot path.
+    fn snapshot_entries(&self) -> Vec<(Self::Key, Self::Value)>;
+}
+
+/// A per-thread accessor onto a [`Collection`] (map-bench's
+/// `CollectionHandle`).
+///
+/// Methods take `&mut self`: a handle belongs to exactly one thread,
+/// which lets implementations keep per-thread state (the
+/// [`SnapshotHandle`] caches the current frozen snapshot and swaps it on
+/// epoch change without any synchronization of its own).
+pub trait CollectionHandle: Send {
+    /// Key type.
+    type Key: IndexKey;
+    /// Value type.
+    type Value: IndexValue;
+
+    /// Looks up `key`, returning its value when present.
+    fn get(&mut self, key: &Self::Key) -> Option<Self::Value>;
+
+    /// Upserts `key`, returning the previous value when it existed.
+    fn insert(&mut self, key: Self::Key, value: Self::Value) -> Option<Self::Value>;
+
+    /// Inserts `key` only when absent; returns the existing value (and
+    /// leaves it untouched) when present.
+    fn insert_if_absent(&mut self, key: Self::Key, value: Self::Value) -> Option<Self::Value>;
+
+    /// Removes `key`, returning its value when it was present.
+    fn remove(&mut self, key: &Self::Key) -> Option<Self::Value>;
+}
+
+/// Which concurrent backend a node's RAM index runs on.
+///
+/// Parsed from config or the `SHHC_TEST_BACKEND` environment variable
+/// (the CI matrix leg); see the crate docs for the trade-off table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The retained baseline: one mutex, single-writer semantics.
+    #[default]
+    Single,
+    /// Striped `RwLock` map: readers never block readers.
+    Striped,
+    /// Epoch-validated COW snapshot: lock-free read-mostly probes.
+    Snapshot,
+}
+
+impl BackendKind {
+    /// Every backend, in baseline-first order (bench sweeps).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Single,
+        BackendKind::Striped,
+        BackendKind::Snapshot,
+    ];
+
+    /// Whether this backend supports concurrent readers (everything but
+    /// the single-writer baseline).
+    pub fn concurrent(self) -> bool {
+        !matches!(self, BackendKind::Single)
+    }
+
+    /// Reads a backend from an environment variable, returning `None`
+    /// when unset, empty, or unparseable.
+    pub fn from_env(var: &str) -> Option<Self> {
+        std::env::var(var).ok()?.parse().ok()
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Single => "single",
+            BackendKind::Striped => "striped",
+            BackendKind::Snapshot => "snapshot",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "single" | "single-writer" | "mutex" => Ok(BackendKind::Single),
+            "striped" | "striped-rwlock" | "rwlock" => Ok(BackendKind::Striped),
+            "snapshot" | "cow" | "lockfree" | "lock-free" => Ok(BackendKind::Snapshot),
+            other => Err(format!("unknown index backend {other:?}")),
+        }
+    }
+}
+
+/// Number of stripes the striped backends default to: enough that 8–16
+/// threads rarely collide on a stripe, small enough that per-stripe maps
+/// stay cache-friendly.
+pub const DEFAULT_STRIPES: usize = 64;
+
+pub(crate) fn stripe_count(requested: usize) -> usize {
+    requested.next_power_of_two().max(1)
+}
+
+/// Picks the stripe for a hash: the *upper* bits, decorrelated from the
+/// low bits `HashMap` masks for its own buckets.
+pub(crate) fn stripe_of(hash: u64, mask: usize) -> usize {
+    ((hash >> 32) as usize ^ (hash as usize)) & mask
+}
+
+pub(crate) fn hash_one<K: Hash, H: BuildHasher>(hasher: &H, key: &K) -> u64 {
+    hasher.hash_one(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        for kind in BackendKind::ALL {
+            let round: BackendKind = kind.to_string().parse().unwrap();
+            assert_eq!(round, kind);
+        }
+        assert_eq!("COW".parse::<BackendKind>().unwrap(), BackendKind::Snapshot);
+        assert_eq!(
+            "single-writer".parse::<BackendKind>().unwrap(),
+            BackendKind::Single
+        );
+        assert!("quantum".parse::<BackendKind>().is_err());
+        assert!(!BackendKind::Single.concurrent());
+        assert!(BackendKind::Striped.concurrent());
+        assert!(BackendKind::Snapshot.concurrent());
+    }
+
+    #[test]
+    fn stripe_helpers() {
+        assert_eq!(stripe_count(0), 1);
+        assert_eq!(stripe_count(1), 1);
+        assert_eq!(stripe_count(48), 64);
+        assert_eq!(stripe_count(64), 64);
+        let mask = stripe_count(64) - 1;
+        for h in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert!(stripe_of(h, mask) <= mask);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Epoch-validated copy-on-write backend for read-dominant probes.
+//!
+//! The map is split in two:
+//!
+//! * a **frozen** `Arc<HashMap>` holding the bulk of the entries, and
+//! * a small **delta** overlay (striped `RwLock`s) holding every write
+//!   since the last publish, with `None` entries as tombstones.
+//!
+//! Each [`SnapshotHandle`] caches the frozen `Arc` together with the
+//! epoch it was taken at. A read probes its delta stripe (one shared
+//! lock over a near-empty map), revalidates the epoch with a single
+//! atomic load, then probes the cached frozen map with *no lock at all*
+//! — on a read-dominant mix virtually every operation resolves in the
+//! frozen map, so readers scale with cores. When the delta outgrows a
+//! threshold, the next writer *publishes*: it merges the delta into a
+//! fresh `Arc`, swaps it in, and bumps the epoch; readers pick the new
+//! snapshot up lazily (counted as [`IndexStats::read_retries`]).
+//!
+//! Lock ordering (deadlock freedom): anyone taking more than one lock
+//! takes delta stripes first (ascending), then `frozen`. The epoch only
+//! changes while the `frozen` write lock *and* every delta write lock
+//! are held, which is what makes the handle's `(epoch, Arc)` pair a
+//! consistent view.
+
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use shhc_types::FingerprintBuildHasher;
+
+use crate::stats::ContentionCounters;
+use crate::{
+    hash_one, stripe_count, stripe_of, Collection, CollectionHandle, IndexKey, IndexStats,
+    IndexValue, DEFAULT_STRIPES,
+};
+
+/// Below this many delta entries a publish is never triggered; above,
+/// the trigger scales with the frozen map so publish cost (an `O(n)`
+/// clone) stays amortized.
+const PUBLISH_FLOOR: usize = 64;
+
+/// Copy-on-write snapshot map: lock-free reads against a frozen `Arc`,
+/// writes buffered in a striped delta and folded in wholesale. See the
+/// [module docs](self) for the protocol.
+pub struct SnapshotMap<K, V, H = FingerprintBuildHasher> {
+    inner: Arc<Inner<K, V, H>>,
+}
+
+/// A delta entry: `Some(v)` overrides the frozen value, `None` is a
+/// tombstone hiding it.
+type DeltaMap<K, V, H> = HashMap<K, Option<V>, H>;
+
+struct Inner<K, V, H> {
+    epoch: AtomicU64,
+    frozen: RwLock<Arc<HashMap<K, V, H>>>,
+    frozen_len: AtomicUsize,
+    delta: Box<[RwLock<DeltaMap<K, V, H>>]>,
+    /// Live delta entries (tombstones included) — the publish trigger.
+    delta_len: AtomicUsize,
+    mask: usize,
+    hasher: H,
+    contention: ContentionCounters,
+}
+
+impl<K, V, H> Clone for SnapshotMap<K, V, H> {
+    fn clone(&self) -> Self {
+        SnapshotMap {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: IndexKey, V: IndexValue, H: BuildHasher + Default + Clone> SnapshotMap<K, V, H> {
+    /// Creates an empty map with [`DEFAULT_STRIPES`] delta stripes,
+    /// sized for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_stripes(capacity, DEFAULT_STRIPES)
+    }
+
+    /// Creates an empty map with `stripes` delta stripes (rounded up to
+    /// a power of two), sized for `capacity` entries.
+    pub fn with_capacity_and_stripes(capacity: usize, stripes: usize) -> Self {
+        let n = stripe_count(stripes);
+        let delta: Vec<_> = (0..n)
+            .map(|_| RwLock::new(DeltaMap::with_hasher(H::default())))
+            .collect();
+        SnapshotMap {
+            inner: Arc::new(Inner {
+                epoch: AtomicU64::new(0),
+                frozen: RwLock::new(Arc::new(HashMap::with_capacity_and_hasher(
+                    capacity,
+                    H::default(),
+                ))),
+                frozen_len: AtomicUsize::new(0),
+                delta: delta.into_boxed_slice(),
+                delta_len: AtomicUsize::new(0),
+                mask: n - 1,
+                hasher: H::default(),
+                contention: ContentionCounters::default(),
+            }),
+        }
+    }
+
+    /// Epoch of the current frozen snapshot (bumped at every publish).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Entries currently buffered in the delta overlay.
+    pub fn delta_entries(&self) -> usize {
+        self.inner.delta_len.load(Ordering::Relaxed)
+    }
+
+    /// Forces a publish regardless of the threshold (tests/benches).
+    pub fn force_publish(&self) {
+        self.inner.publish();
+    }
+}
+
+impl<K, V, H> Inner<K, V, H>
+where
+    K: IndexKey,
+    V: IndexValue,
+    H: BuildHasher + Default + Clone,
+{
+    fn stripe_for(&self, key: &K) -> &RwLock<DeltaMap<K, V, H>> {
+        let h = hash_one(&self.hasher, key);
+        &self.delta[stripe_of(h, self.mask)]
+    }
+
+    fn read_counted<'a, T: ?Sized>(&self, lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+        match lock.try_read() {
+            Some(g) => g,
+            None => {
+                self.contention.count_lock_wait();
+                lock.read()
+            }
+        }
+    }
+
+    fn write_counted<'a, T: ?Sized>(&self, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+        match lock.try_write() {
+            Some(g) => g,
+            None => {
+                self.contention.count_lock_wait();
+                lock.write()
+            }
+        }
+    }
+
+    fn publish_threshold(&self) -> usize {
+        PUBLISH_FLOOR.max(self.frozen_len.load(Ordering::Relaxed) / 4)
+    }
+
+    /// Folds the delta into a fresh frozen snapshot and bumps the epoch.
+    ///
+    /// Takes every delta write lock (ascending), then the frozen write
+    /// lock — the crate-wide lock order. Because the epoch changes only
+    /// here, under all those locks, a writer holding any *one* delta
+    /// stripe knows the frozen map cannot move under it.
+    fn publish(&self) {
+        let mut guards: Vec<_> = self.delta.iter().map(|s| self.write_counted(s)).collect();
+        if guards.iter().map(|g| g.len()).sum::<usize>() == 0 {
+            return;
+        }
+        let mut frozen = self.write_counted(&self.frozen);
+        let mut next: HashMap<K, V, H> = (**frozen).clone();
+        for guard in guards.iter_mut() {
+            for (key, entry) in guard.drain() {
+                match entry {
+                    Some(value) => {
+                        next.insert(key, value);
+                    }
+                    None => {
+                        next.remove(&key);
+                    }
+                }
+            }
+        }
+        self.frozen_len.store(next.len(), Ordering::Relaxed);
+        self.delta_len.store(0, Ordering::Relaxed);
+        *frozen = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Per-thread accessor for [`SnapshotMap`]: caches the frozen snapshot
+/// it read last, revalidating with one atomic epoch load per operation.
+pub struct SnapshotHandle<K, V, H = FingerprintBuildHasher> {
+    inner: Arc<Inner<K, V, H>>,
+    epoch: u64,
+    frozen: Arc<HashMap<K, V, H>>,
+}
+
+impl<K, V, H> SnapshotHandle<K, V, H>
+where
+    K: IndexKey,
+    V: IndexValue,
+    H: BuildHasher + Default + Clone,
+{
+    /// Reloads the cached snapshot when a publish has happened since the
+    /// last operation. Reading the epoch under the frozen *read* lock is
+    /// what makes the pair consistent (publishes bump it under the
+    /// *write* lock).
+    ///
+    /// Safe to call while holding a delta stripe guard: a publish takes
+    /// every delta stripe before touching `frozen`, so it can never sit
+    /// on the frozen write lock while waiting for us.
+    fn refresh_if_stale(&mut self) {
+        if self.inner.epoch.load(Ordering::Acquire) != self.epoch {
+            self.inner.contention.count_read_retry();
+            let guard = self.inner.read_counted(&self.inner.frozen);
+            self.frozen = Arc::clone(&guard);
+            self.epoch = self.inner.epoch.load(Ordering::Acquire);
+        }
+    }
+
+    fn maybe_publish(&self) {
+        if self.inner.delta_len.load(Ordering::Relaxed) > self.inner.publish_threshold() {
+            self.inner.publish();
+        }
+    }
+}
+
+impl<K, V, H> Collection for SnapshotMap<K, V, H>
+where
+    K: IndexKey,
+    V: IndexValue,
+    H: BuildHasher + Default + Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Value = V;
+    type Handle = SnapshotHandle<K, V, H>;
+
+    fn pin(&self) -> Self::Handle {
+        let guard = self.inner.read_counted(&self.inner.frozen);
+        let frozen = Arc::clone(&guard);
+        let epoch = self.inner.epoch.load(Ordering::Acquire);
+        drop(guard);
+        SnapshotHandle {
+            inner: Arc::clone(&self.inner),
+            epoch,
+            frozen,
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        self.inner.contention.snapshot()
+    }
+
+    fn len(&self) -> usize {
+        // Delta guards first, then frozen: the crate-wide lock order.
+        let guards: Vec<_> = self
+            .inner
+            .delta
+            .iter()
+            .map(|s| self.inner.read_counted(s))
+            .collect();
+        let frozen = self.inner.read_counted(&self.inner.frozen);
+        let mut len = frozen.len();
+        for guard in &guards {
+            for (key, entry) in guard.iter() {
+                match (entry.is_some(), frozen.contains_key(key)) {
+                    (true, false) => len += 1,
+                    (false, true) => len -= 1,
+                    _ => {}
+                }
+            }
+        }
+        len
+    }
+
+    fn snapshot_entries(&self) -> Vec<(K, V)> {
+        let guards: Vec<_> = self
+            .inner
+            .delta
+            .iter()
+            .map(|s| self.inner.read_counted(s))
+            .collect();
+        let frozen = self.inner.read_counted(&self.inner.frozen);
+        let mut merged: HashMap<K, V, H> = (**frozen).clone();
+        for guard in &guards {
+            for (key, entry) in guard.iter() {
+                match entry {
+                    Some(value) => {
+                        merged.insert(key.clone(), value.clone());
+                    }
+                    None => {
+                        merged.remove(key);
+                    }
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+}
+
+impl<K, V, H> CollectionHandle for SnapshotHandle<K, V, H>
+where
+    K: IndexKey,
+    V: IndexValue,
+    H: BuildHasher + Default + Clone + Send + Sync + 'static,
+{
+    type Key = K;
+    type Value = V;
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        // Delta first: a key can only migrate delta→frozen via a
+        // publish, which bumps the epoch — so a delta miss followed by a
+        // fresh-epoch check makes the frozen probe authoritative.
+        {
+            let stripe = self.inner.stripe_for(key);
+            let guard = self.inner.read_counted(stripe);
+            if let Some(entry) = guard.get(key) {
+                return entry.clone();
+            }
+        }
+        self.refresh_if_stale();
+        self.frozen.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let inner = Arc::clone(&self.inner);
+        let old = {
+            let stripe = inner.stripe_for(&key);
+            let mut guard = inner.write_counted(stripe);
+            self.refresh_if_stale();
+            let frozen_old = self.frozen.get(&key).cloned();
+            match guard.insert(key, Some(value)) {
+                Some(Some(old)) => Some(old),
+                Some(None) => None, // overwrote a tombstone
+                None => {
+                    inner.delta_len.fetch_add(1, Ordering::Relaxed);
+                    frozen_old
+                }
+            }
+        };
+        self.maybe_publish();
+        old
+    }
+
+    fn insert_if_absent(&mut self, key: K, value: V) -> Option<V> {
+        let inner = Arc::clone(&self.inner);
+        let existing = {
+            let stripe = inner.stripe_for(&key);
+            let mut guard = inner.write_counted(stripe);
+            self.refresh_if_stale();
+            let existing = match guard.get(&key) {
+                Some(Some(v)) => Some(v.clone()),
+                Some(None) => None, // tombstoned: absent
+                None => self.frozen.get(&key).cloned(),
+            };
+            if existing.is_none() && guard.insert(key, Some(value)).is_none() {
+                inner.delta_len.fetch_add(1, Ordering::Relaxed);
+            }
+            existing
+        };
+        self.maybe_publish();
+        existing
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let inner = Arc::clone(&self.inner);
+        let old = {
+            let stripe = inner.stripe_for(key);
+            let mut guard = inner.write_counted(stripe);
+            self.refresh_if_stale();
+            let in_frozen = self.frozen.contains_key(key);
+            let old = match guard.get(key) {
+                Some(Some(v)) => Some(v.clone()),
+                Some(None) => None, // already tombstoned
+                None => self.frozen.get(key).cloned(),
+            };
+            if old.is_some() {
+                if in_frozen {
+                    // Hide the frozen entry behind a tombstone.
+                    if guard.insert(key.clone(), None).is_none() {
+                        inner.delta_len.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if guard.remove(key).is_some() {
+                    // Lived only in the delta: drop it outright.
+                    inner.delta_len.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            old
+        };
+        self.maybe_publish();
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Map = SnapshotMap<u64, u64, FingerprintBuildHasher>;
+
+    #[test]
+    fn basic_ops_round_trip() {
+        let map = Map::with_capacity_and_stripes(16, 4);
+        let mut h = map.pin();
+        assert_eq!(h.insert(1, 10), None);
+        assert_eq!(h.insert(1, 11), Some(10));
+        assert_eq!(h.insert_if_absent(1, 99), Some(11));
+        assert_eq!(h.insert_if_absent(2, 20), None);
+        assert_eq!(h.get(&1), Some(11));
+        assert_eq!(h.get(&2), Some(20));
+        assert_eq!(h.get(&3), None);
+        assert_eq!(map.len(), 2);
+        assert_eq!(h.remove(&1), Some(11));
+        assert_eq!(h.remove(&1), None);
+        assert_eq!(h.get(&1), None);
+        assert_eq!(map.len(), 1);
+        let entries = map.snapshot_entries();
+        assert_eq!(entries, vec![(2, 20)]);
+    }
+
+    #[test]
+    fn tombstones_survive_publish() {
+        let map = Map::with_capacity_and_stripes(0, 2);
+        let mut h = map.pin();
+        h.insert(7, 70);
+        map.force_publish();
+        assert_eq!(map.epoch(), 1);
+        assert_eq!(map.delta_entries(), 0);
+        // Now 7 lives in the frozen map; removing it must tombstone.
+        assert_eq!(h.remove(&7), Some(70));
+        assert_eq!(h.get(&7), None);
+        assert_eq!(map.len(), 0);
+        map.force_publish();
+        assert_eq!(h.get(&7), None);
+        assert_eq!(map.len(), 0);
+        // Reinsert after the tombstone published away.
+        assert_eq!(h.insert(7, 71), None);
+        assert_eq!(h.get(&7), Some(71));
+    }
+
+    #[test]
+    fn stale_handles_catch_up_and_count_retries() {
+        let map = Map::with_capacity_and_stripes(0, 2);
+        let mut writer = map.pin();
+        let mut reader = map.pin();
+        writer.insert(1, 100);
+        map.force_publish();
+        // The reader's cached snapshot predates the publish; its next
+        // get must refresh (one read_retry) and see the value.
+        assert_eq!(reader.get(&1), Some(100));
+        assert!(map.stats().read_retries >= 1);
+    }
+
+    #[test]
+    fn threshold_publishes_automatically() {
+        let map = Map::with_capacity_and_stripes(0, 2);
+        let mut h = map.pin();
+        for k in 0..(PUBLISH_FLOOR as u64 * 3) {
+            h.insert(k, k);
+        }
+        assert!(map.epoch() >= 1, "bulk inserts must trigger a publish");
+        assert!(map.delta_entries() <= PUBLISH_FLOOR * 3);
+        for k in 0..(PUBLISH_FLOOR as u64 * 3) {
+            assert_eq!(h.get(&k), Some(k));
+        }
+        assert_eq!(map.len(), PUBLISH_FLOOR * 3);
+    }
+
+    #[test]
+    fn concurrent_readers_see_published_writes() {
+        let map = Map::with_capacity(0);
+        let mut seed = map.pin();
+        for k in 0..256u64 {
+            seed.insert(k, k);
+        }
+        map.force_publish();
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let map = map.clone();
+                std::thread::spawn(move || {
+                    let mut h = map.pin();
+                    for round in 0..500u64 {
+                        let k = (t * 97 + round) % 256;
+                        assert_eq!(h.get(&k), Some(k), "key {k} must stay visible");
+                    }
+                })
+            })
+            .collect();
+        let writer = {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                let mut h = map.pin();
+                for k in 256..512u64 {
+                    h.insert(k, k);
+                }
+                map.force_publish();
+            })
+        };
+        for t in readers {
+            t.join().expect("reader");
+        }
+        writer.join().expect("writer");
+        assert_eq!(map.len(), 512);
+        let mut h = map.pin();
+        assert_eq!(h.get(&400), Some(400));
+    }
+}

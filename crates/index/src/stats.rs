@@ -1,0 +1,76 @@
+//! Contention counters shared by every backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of a backend's contention counters.
+///
+/// Both counters are *events observed*, not time spent: they tell you
+/// how often a thread found the structure busy, which is the signal the
+/// `ext_map_shootout` bench and `ClusterStats` aggregate to compare
+/// backends under identical load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// A `try_lock`/`try_read`/`try_write` failed and the thread had to
+    /// fall back to a blocking acquire.
+    pub lock_waits: u64,
+    /// A snapshot handle found its cached epoch stale and refreshed its
+    /// frozen map (the [`SnapshotMap`](crate::SnapshotMap) backend; zero
+    /// for the locking backends).
+    pub read_retries: u64,
+}
+
+impl IndexStats {
+    /// Sums two snapshots (used when a node folds per-shard indexes).
+    pub fn merge(self, other: IndexStats) -> IndexStats {
+        IndexStats {
+            lock_waits: self.lock_waits + other.lock_waits,
+            read_retries: self.read_retries + other.read_retries,
+        }
+    }
+}
+
+/// Shared atomic counters the backends bump on their slow paths.
+#[derive(Debug, Default)]
+pub(crate) struct ContentionCounters {
+    lock_waits: AtomicU64,
+    read_retries: AtomicU64,
+}
+
+impl ContentionCounters {
+    pub(crate) fn count_lock_wait(&self) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_read_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IndexStats {
+        IndexStats {
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let c = ContentionCounters::default();
+        c.count_lock_wait();
+        c.count_lock_wait();
+        c.count_read_retry();
+        let snap = c.snapshot();
+        assert_eq!(snap.lock_waits, 2);
+        assert_eq!(snap.read_retries, 1);
+        let merged = snap.merge(IndexStats {
+            lock_waits: 3,
+            read_retries: 4,
+        });
+        assert_eq!(merged.lock_waits, 5);
+        assert_eq!(merged.read_retries, 5);
+    }
+}

@@ -44,6 +44,8 @@ pub use hybrid::{
     BatchResult, CachePolicy, Classified, HybridHashNode, LookupOutcome, LookupResult, NodeConfig,
     NodeStats,
 };
+// The backend selector is part of `NodeConfig`'s public surface.
 pub use sharded::{
     merge_classified, MergedLookup, ShardRouter, ShardedNode, SubBatch, SubClassified,
 };
+pub use shhc_index::BackendKind;

@@ -16,6 +16,8 @@
 //! - [`mix`] — the "4 mixed workloads" stream used for Figures 5 and 6,
 //! - [`MultiClientSpec`] — K concurrent clients (disjoint shards, paced
 //!   open-loop arrivals) for the shared-front-end experiments,
+//! - [`OpMixSpec`] / [`split_op_mix`] — raw map-operation mixes for the
+//!   index-backend shootout bench,
 //! - [`spread_fingerprint`] / [`spread_batches`] — ring-uniform unique
 //!   fingerprint streams for the wall-clock benches.
 //!
@@ -39,6 +41,7 @@ mod generate;
 mod io;
 mod mixer;
 mod multi;
+mod opmix;
 pub mod presets;
 mod spread;
 
@@ -48,4 +51,5 @@ pub use generate::{Trace, TraceGenerator, TraceSpec};
 pub use io::{load_trace, save_trace};
 pub use mixer::mix;
 pub use multi::MultiClientSpec;
+pub use opmix::{split_op_mix, MapOp, OpMixSpec};
 pub use spread::{spread_batches, spread_fingerprint};

@@ -1,0 +1,175 @@
+//! Map-operation mixes for the index-backend shootout.
+//!
+//! The node benches drive whole clusters with fingerprint *traces*; the
+//! backend shootout instead needs raw map operations — gets, inserts and
+//! removes over a bounded keyspace — so every `shhc-index` backend
+//! executes the *identical* sequence and differences come from lock
+//! behavior alone. Reads and
+//! writes are generated as one seeded stream and then split by the
+//! harness to match the node's execution model: reads fan out across a
+//! reader pool, writes stay serialized on one writer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shhc_types::Fingerprint;
+
+/// One map operation of a shootout stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Read one key.
+    Get(Fingerprint),
+    /// Insert (or overwrite) one key.
+    Insert(Fingerprint, u64),
+    /// Delete one key.
+    Remove(Fingerprint),
+}
+
+impl MapOp {
+    /// Whether this operation is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, MapOp::Get(_))
+    }
+}
+
+/// Target parameters of an operation mix (seeded, reproducible).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpMixSpec {
+    /// Short name, used in CSV rows ("read_dominant", "write_heavy").
+    pub name: &'static str,
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Keys are drawn uniformly from `0..keyspace`.
+    pub keyspace: u64,
+    /// Fraction of operations that are gets.
+    pub read_fraction: f64,
+    /// Fraction of the *non-read* operations that are removes (the rest
+    /// are inserts) — keeps the map populated instead of draining it.
+    pub remove_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OpMixSpec {
+    /// The shootout's read-dominant mix: 95 % gets, writes mostly
+    /// inserts — the dedup-query traffic a reader pool exists for.
+    pub fn read_dominant(ops: usize, keyspace: u64, seed: u64) -> Self {
+        OpMixSpec {
+            name: "read_dominant",
+            ops,
+            keyspace,
+            read_fraction: 0.95,
+            remove_fraction: 0.2,
+            seed,
+        }
+    }
+
+    /// The shootout's write-heavy mix: half the stream mutates — where
+    /// a concurrent backend's overhead (stripe locking, snapshot
+    /// publishes) has to prove it costs little.
+    pub fn write_heavy(ops: usize, keyspace: u64, seed: u64) -> Self {
+        OpMixSpec {
+            name: "write_heavy",
+            ops,
+            keyspace,
+            read_fraction: 0.5,
+            remove_fraction: 0.3,
+            seed,
+        }
+    }
+
+    /// Generates the operation stream. Values are derived from the key
+    /// so any two backends that applied the same prefix agree on what a
+    /// get must return.
+    pub fn generate(&self) -> Vec<MapOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let keyspace = self.keyspace.max(1);
+        (0..self.ops)
+            .map(|_| {
+                let key = rng.gen_range(0..keyspace);
+                let fp = Fingerprint::from_u64(key);
+                if rng.gen_bool(self.read_fraction.clamp(0.0, 1.0)) {
+                    MapOp::Get(fp)
+                } else if rng.gen_bool(self.remove_fraction.clamp(0.0, 1.0)) {
+                    MapOp::Remove(fp)
+                } else {
+                    MapOp::Insert(fp, key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                }
+            })
+            .collect()
+    }
+
+    /// The keys `0..keyspace/2`, for prefilling a map so gets hit about
+    /// half the time from the first operation on.
+    pub fn prefill(&self) -> Vec<(Fingerprint, u64)> {
+        (0..self.keyspace / 2)
+            .map(|key| {
+                (
+                    Fingerprint::from_u64(key),
+                    key.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Splits a stream into the node's execution shape: the reads dealt
+/// round-robin across `readers` per-thread streams (in order), the
+/// writes in one serialized stream. `readers` is clamped to ≥ 1.
+pub fn split_op_mix(ops: &[MapOp], readers: usize) -> (Vec<Vec<MapOp>>, Vec<MapOp>) {
+    let readers = readers.max(1);
+    let mut read_streams: Vec<Vec<MapOp>> = vec![Vec::new(); readers];
+    let mut writes = Vec::new();
+    let mut next = 0usize;
+    for op in ops {
+        if op.is_read() {
+            read_streams[next].push(*op);
+            next = (next + 1) % readers;
+        } else {
+            writes.push(*op);
+        }
+    }
+    (read_streams, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_hit_their_fractions() {
+        let spec = OpMixSpec::read_dominant(20_000, 1024, 7);
+        let ops = spec.generate();
+        assert_eq!(ops.len(), 20_000);
+        let reads = ops.iter().filter(|o| o.is_read()).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.95).abs() < 0.02, "read fraction {frac}");
+        let heavy = OpMixSpec::write_heavy(20_000, 1024, 7).generate();
+        let reads = heavy.iter().filter(|o| o.is_read()).count();
+        let frac = reads as f64 / heavy.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = OpMixSpec::read_dominant(1000, 64, 1).generate();
+        let b = OpMixSpec::read_dominant(1000, 64, 1).generate();
+        let c = OpMixSpec::read_dominant(1000, 64, 2).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let spec = OpMixSpec::write_heavy(5000, 256, 3);
+        let ops = spec.generate();
+        let (reads, writes) = split_op_mix(&ops, 4);
+        assert_eq!(reads.len(), 4);
+        let split_total: usize = reads.iter().map(Vec::len).sum::<usize>() + writes.len();
+        assert_eq!(split_total, ops.len());
+        assert!(reads.iter().flatten().all(MapOp::is_read));
+        assert!(writes.iter().all(|o| !o.is_read()));
+        // Round-robin keeps per-thread loads within one op of each other.
+        let lens: Vec<usize> = reads.iter().map(Vec::len).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+}

@@ -8,7 +8,7 @@
 //! |---|---|
 //! | [`types`] | shared vocabulary |
 //! | [`hash`], [`bloom`], [`cache`], [`chunking`], [`flash`] | substrates |
-//! | [`net`], [`ring`], [`sim`], [`storage`], [`workload`] | substrates |
+//! | [`index`], [`net`], [`ring`], [`sim`], [`storage`], [`workload`] | substrates |
 //! | [`node`], [`baseline`] | node layer |
 //! | [`cluster`] (the `shhc` core crate) | the cluster itself |
 //!
@@ -37,6 +37,7 @@ pub use shhc_cache as cache;
 pub use shhc_chunking as chunking;
 pub use shhc_flash as flash;
 pub use shhc_hash as hash;
+pub use shhc_index as index;
 pub use shhc_net as net;
 pub use shhc_node as node;
 pub use shhc_ring as ring;

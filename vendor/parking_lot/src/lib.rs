@@ -89,6 +89,16 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    ///
+    /// Fairness: real parking_lot readers are *eventually fair* (a
+    /// blocked writer eventually stops new readers from barging). This
+    /// shim delegates to `std::sync::RwLock`, whose fairness is whatever
+    /// the platform provides — on Linux (futex-based) writers are not
+    /// starved, but readers arriving while a writer waits may or may not
+    /// barge. Callers that need a guaranteed-bounded wait should use
+    /// [`RwLock::try_read`] / [`RwLock::try_write`] and count the misses
+    /// (the striped index backends do exactly this for their
+    /// `lock_waits` statistic).
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
@@ -96,6 +106,31 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire a shared read lock without blocking.
+    ///
+    /// Returns `None` when a writer holds the lock (or, on some
+    /// platforms, when a writer is merely queued — std's `try_read` may
+    /// respect writer priority). Like every accessor here, poisoning is
+    /// swallowed to match parking_lot's panic-free semantics.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire the exclusive write lock without blocking.
+    ///
+    /// Returns `None` when any reader or writer holds the lock.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Returns a mutable reference to the underlying data.
@@ -110,5 +145,77 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
             Ok(guard) => f.debug_struct("RwLock").field("data", &*guard).finish(),
             Err(_) => f.write_str("RwLock { <locked> }"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held mutex must refuse try_lock");
+        }
+        assert_eq!(*m.try_lock().expect("free mutex"), 1);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(7u32);
+        // Two concurrent readers are fine; a writer is shut out.
+        let r1 = l.try_read().expect("first reader");
+        let r2 = l.try_read().expect("second reader");
+        assert_eq!((*r1, *r2), (7, 7));
+        assert!(l.try_write().is_none(), "readers must block try_write");
+        drop(r1);
+        assert!(l.try_write().is_none(), "one reader still blocks writes");
+        drop(r2);
+        let mut w = l.try_write().expect("free lock");
+        *w = 8;
+        // A held writer excludes both readers and writers.
+        assert!(w.eq(&8));
+        assert!(l.try_read().is_none(), "writer must block try_read");
+        assert!(l.try_write().is_none(), "writer must block try_write");
+        drop(w);
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn rwlock_poison_is_swallowed() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(3u32));
+        let inner = Arc::clone(&l);
+        // Panic while holding the write lock: std would poison; the shim
+        // (like real parking_lot) keeps the lock usable.
+        let _ = std::thread::spawn(move || {
+            let _g = inner.write();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*l.try_read().expect("recovered read"), 3);
+        *l.try_write().expect("recovered write") = 4;
+        assert_eq!(*l.read(), 4);
+    }
+
+    #[test]
+    fn rwlock_blocking_read_waits_out_a_writer() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(0u32));
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                let mut g = l.write();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                *g = 42;
+            })
+        };
+        // Give the writer time to acquire, then block in read().
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let seen = *l.read();
+        writer.join().expect("writer thread");
+        assert_eq!(seen, 42, "blocking read must observe the write");
     }
 }
