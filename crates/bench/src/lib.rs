@@ -57,6 +57,12 @@ pub fn node_parallelism_quick() -> bool {
     env_flag("SHHC_NODE_PARALLELISM_QUICK")
 }
 
+/// Quick mode for the crash-recovery bench (`SHHC_RECOVERY_QUICK`):
+/// small store sizes and delta sweeps for a CI smoke run.
+pub fn recovery_quick() -> bool {
+    env_flag("SHHC_RECOVERY_QUICK")
+}
+
 /// Quick mode for the index-backend shootout bench
 /// (`SHHC_MAP_SHOOTOUT_QUICK`): tiny op streams and reader sweep for a
 /// CI smoke run.

@@ -50,7 +50,7 @@ use parking_lot::{Mutex, RwLock};
 use shhc_net::{decode, encode, Frame};
 use shhc_node::{HybridHashNode, NodeConfig, ShardedNode};
 use shhc_ring::{MigrationPlan, RingView};
-use shhc_types::{Error, Fingerprint, FpHashSet, NodeId, Result, StreamId};
+use shhc_types::{Error, Fingerprint, FpHashMap, FpHashSet, NodeId, Result, StreamId};
 
 use crate::server::{
     node_loop, sharded_node_loop, ControlMsg, ControlReply, NodeRequest, NodeSnapshot,
@@ -146,11 +146,22 @@ pub struct ClusterStats {
     pub nodes: Vec<NodeSnapshot>,
     /// The routing epoch the stats were taken under.
     pub epoch: u64,
-    /// Nodes that crashed (killed; still ring members, data lost).
+    /// Nodes that crashed (killed; still ring members, data lost unless
+    /// WAL-backed) and have not been restarted.
     pub crashed: Vec<NodeId>,
     /// Nodes decommissioned by [`ShhcCluster::drain_node`] (out of the
     /// ring, verified empty before shutdown).
     pub drained: Vec<NodeId>,
+    /// Running nodes that came back via a **warm**
+    /// [`ShhcCluster::restart_node`] — they replayed local WAL state
+    /// and/or re-synced deltas from replica peers, as opposed to cold
+    /// standbys ([`ShhcCluster::restart_cold`]) that rejoined empty.
+    pub recovered: Vec<NodeId>,
+    /// Cumulative entries shipped to warm-restarted nodes by delta
+    /// re-sync, across the cluster's lifetime.
+    pub resync_moved: u64,
+    /// Cumulative re-sync migration chunks (wire frames) shipped.
+    pub resync_chunks: u64,
 }
 
 impl ClusterStats {
@@ -210,6 +221,29 @@ pub struct RebalanceReport {
     pub post_scan_entries: u64,
 }
 
+/// Result of a **warm** [`ShhcCluster::restart_node`]: how much state
+/// the node rebuilt locally from its write-ahead log, and how much it
+/// had to pull back from replica peers (the delta it missed while down).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Live entries the node rebuilt from its WAL before accepting
+    /// traffic (zero for volatile nodes).
+    pub recovered_entries: u64,
+    /// WAL records (journal + segment pages + compactions) replayed.
+    pub replayed: u64,
+    /// Torn (partially written) WAL tail records detected and truncated
+    /// at recovery — never replayed.
+    pub torn: u64,
+    /// Entries re-installed from replica peers: writes the node missed
+    /// while down. Bounded by the missed delta — peers probe before
+    /// shipping, so already-recovered entries are never resent.
+    pub resynced: u64,
+    /// Re-sync migration chunks (wire frames) shipped.
+    pub chunks: u64,
+    /// Wall-clock duration of the restart, replay and re-sync.
+    pub wall_clock: Duration,
+}
+
 /// Lifecycle of a node slot. Slots are never reused: a node id maps to
 /// the same slot for the cluster's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +262,10 @@ struct NodeSlot {
     sender: Option<Sender<NodeRequest>>,
     handle: Option<JoinHandle<()>>,
     status: SlotStatus,
+    /// True for a running node that rejoined via a warm restart
+    /// (replayed WAL state / re-synced from peers) rather than as a cold
+    /// standby.
+    recovered: bool,
 }
 
 /// The in-flight half of a membership change: the exact ownership diff
@@ -272,6 +310,10 @@ struct Inner {
     /// other — never against traffic.
     membership: Mutex<()>,
     correlation: AtomicU64,
+    /// Cumulative delta re-sync traffic to warm-restarted nodes
+    /// (entries / chunks), reported through [`ClusterStats`].
+    resync_moved: AtomicU64,
+    resync_chunks: AtomicU64,
 }
 
 /// One slice of a batch bound for a single replica set: the fingerprints
@@ -352,6 +394,8 @@ impl ShhcCluster {
                 }),
                 membership: Mutex::new(()),
                 correlation: AtomicU64::new(1),
+                resync_moved: AtomicU64::new(0),
+                resync_chunks: AtomicU64::new(0),
             }),
         })
     }
@@ -1034,20 +1078,26 @@ impl ShhcCluster {
     ///
     /// Propagates control-plane failures (a node dying mid-snapshot).
     pub fn stats(&self) -> Result<ClusterStats> {
-        let (node_ids, crashed, drained) = {
+        let (node_ids, crashed, drained, recovered) = {
             let nodes = self.inner.nodes.read();
             let mut alive = Vec::new();
             let mut crashed = Vec::new();
             let mut drained = Vec::new();
+            let mut recovered = Vec::new();
             for (i, slot) in nodes.iter().enumerate() {
                 let id = NodeId::new(i as u32);
                 match slot.status {
-                    SlotStatus::Running => alive.push(id),
+                    SlotStatus::Running => {
+                        alive.push(id);
+                        if slot.recovered {
+                            recovered.push(id);
+                        }
+                    }
                     SlotStatus::Crashed => crashed.push(id),
                     SlotStatus::Drained => drained.push(id),
                 }
             }
-            (alive, crashed, drained)
+            (alive, crashed, drained, recovered)
         };
         let mut out = Vec::with_capacity(node_ids.len());
         for id in node_ids {
@@ -1060,6 +1110,9 @@ impl ShhcCluster {
             epoch: self.epoch(),
             crashed,
             drained,
+            recovered,
+            resync_moved: self.inner.resync_moved.load(Ordering::Relaxed),
+            resync_chunks: self.inner.resync_chunks.load(Ordering::Relaxed),
         })
     }
 
@@ -1082,8 +1135,12 @@ impl ShhcCluster {
     }
 
     /// Simulates a node crash: the node stops accepting requests and its
-    /// thread exits. Its data is lost (as with a machine failure); with
-    /// `replication > 1`, lookups keep working via the replicas.
+    /// thread exits *without* closing its store — in-RAM state is lost
+    /// (as with a machine failure) and, for WAL-backed nodes, any
+    /// configured [`shhc_flash::FaultPlan`] dirties the log tails. With
+    /// `replication > 1`, lookups keep working via the replicas; a
+    /// durable node gets its state back via a warm
+    /// [`ShhcCluster::restart_node`].
     ///
     /// # Errors
     ///
@@ -1109,15 +1166,19 @@ impl ShhcCluster {
         Ok(())
     }
 
-    /// Restarts a killed node with an empty store (cold standby coming
-    /// back). The ring is unchanged; the node re-learns fingerprints as
-    /// traffic arrives (or via an explicit [`ShhcCluster::rebalance`]).
+    /// Restarts a killed node with an **empty** store (cold standby
+    /// coming back): any write-ahead log the crashed node left on disk
+    /// is wiped first, so the node rejoins with nothing and re-learns
+    /// fingerprints as traffic arrives (or via an explicit
+    /// [`ShhcCluster::rebalance`]). The ring is unchanged. This is the
+    /// historical restart semantics; see [`ShhcCluster::restart_node`]
+    /// for the warm path.
     ///
     /// # Errors
     ///
     /// [`Error::InvalidArgument`] if the node is still alive, was drained
     /// (a drained node left the ring for good), or is unknown.
-    pub fn restart_node(&self, node: NodeId) -> Result<()> {
+    pub fn restart_cold(&self, node: NodeId) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
         let slot = nodes
             .get_mut(node.index())
@@ -1128,10 +1189,134 @@ impl ShhcCluster {
                 "{node} was drained; decommissioned nodes cannot restart"
             ))),
             SlotStatus::Crashed => {
+                // A cold standby must come back empty — discard the
+                // crashed node's durable state before respawning (no-op
+                // for volatile configs).
+                self.inner
+                    .config
+                    .node_config
+                    .durability
+                    .scoped(format!("n{}", node.index()))
+                    .wipe();
                 *slot = spawn_node(node, self.inner.config.node_config.clone())?;
                 Ok(())
             }
         }
+    }
+
+    /// Restarts a killed node **warm**: the node replays its write-ahead
+    /// log (journal + segment metadata) to rebuild its bucket directory,
+    /// bloom filter and RAM cache before accepting traffic, then the
+    /// cluster re-syncs the *delta* it missed while down from replica
+    /// peers — each running peer is scanned, entries whose replica set
+    /// includes the restarted node are probed on it, and only the
+    /// missing ones are shipped (chunked wire frames, counted in
+    /// [`ClusterStats::resync_moved`] / [`ClusterStats::resync_chunks`]).
+    /// For a volatile node this degrades gracefully: nothing replays
+    /// locally and re-sync ships the full replica set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if the node is still alive, was
+    /// drained, or is unknown; WAL corruption beyond a torn tail
+    /// surfaces as [`Error::Corruption`] from the respawn.
+    pub fn restart_node(&self, node: NodeId) -> Result<RecoveryReport> {
+        // Membership lock: re-sync must see a stable ring (and not race
+        // a concurrent drain/rebalance scanning the same peers).
+        let _membership = self.inner.membership.lock();
+        let start = Instant::now();
+        {
+            let mut nodes = self.inner.nodes.write();
+            let slot = nodes
+                .get_mut(node.index())
+                .ok_or_else(|| Error::invalid(format!("unknown node {node}")))?;
+            match slot.status {
+                SlotStatus::Running => {
+                    return Err(Error::invalid(format!("{node} is still running")))
+                }
+                SlotStatus::Drained => {
+                    return Err(Error::invalid(format!(
+                        "{node} was drained; decommissioned nodes cannot restart"
+                    )))
+                }
+                SlotStatus::Crashed => {
+                    // spawn_node replays the node's WAL (if any) before
+                    // the server loop takes its first request.
+                    *slot = spawn_node(node, self.inner.config.node_config.clone())?;
+                    slot.recovered = true;
+                }
+            }
+        }
+        let mut report = RecoveryReport::default();
+        if let ControlReply::Stats(snap) = self.control(node, ControlMsg::Stats)? {
+            report.recovered_entries = snap.stats.recovered_entries;
+            report.replayed = snap.stats.recovery_replayed;
+            report.torn = snap.stats.recovery_torn;
+        }
+        self.resync_from_peers(node, &mut report)?;
+        report.wall_clock = start.elapsed();
+        Ok(report)
+    }
+
+    /// Ships a warm-restarted node the entries it missed while down:
+    /// scans every running peer, keeps the entries whose replica set
+    /// includes `node`, and installs only what the node does not already
+    /// hold ([`ShhcCluster::install_missing`] probes first), so re-sync
+    /// traffic is bounded by the missed delta, not by store size.
+    fn resync_from_peers(&self, node: NodeId, report: &mut RecoveryReport) -> Result<()> {
+        if self.inner.config.replication <= 1 {
+            // Without replication no peer holds the node's entries;
+            // there is nothing to pull.
+            return Ok(());
+        }
+        let state = self.routing();
+        let replication = self.inner.config.replication;
+        let chunk = self.inner.config.migration_chunk.max(1);
+        let peers: Vec<NodeId> = {
+            let nodes = self.inner.nodes.read();
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| s.status == SlotStatus::Running && *i != node.index())
+                .map(|(i, _)| NodeId::new(i as u32))
+                .collect()
+        };
+        // Dedupe across peers: with replication ≥ 3 the same entry shows
+        // up on several of them but must be considered (and shipped) once.
+        let mut missing: FpHashMap<Fingerprint, u64> = FpHashMap::default();
+        for peer in peers {
+            let entries = match self.control(peer, ControlMsg::Scan) {
+                Ok(ControlReply::Scan(entries)) => entries,
+                Ok(_) => continue,
+                Err(Error::Unavailable(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            for (fp, value) in entries {
+                if state
+                    .view
+                    .replicas(fp.route_key(), replication)
+                    .contains(&node)
+                {
+                    missing.entry(fp).or_insert(value);
+                }
+            }
+        }
+        let pages: Vec<(Fingerprint, u64)> = missing.into_iter().collect();
+        let mut rb = RebalanceReport::default();
+        for page in pages.chunks(chunk) {
+            if !self.install_missing(node, page, &mut rb)? {
+                break;
+            }
+        }
+        report.resynced = rb.moved;
+        report.chunks = rb.chunks;
+        self.inner
+            .resync_moved
+            .fetch_add(rb.moved, Ordering::Relaxed);
+        self.inner
+            .resync_chunks
+            .fetch_add(rb.chunks, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Adds a fresh node via a **staged online rebalance** — safe under
@@ -1683,6 +1868,11 @@ impl ShhcCluster {
 }
 
 fn spawn_node(id: NodeId, config: NodeConfig) -> Result<NodeSlot> {
+    // Each node persists under its own subdirectory of the cluster's
+    // data-dir root (no-op for volatile configs). Callers always pass the
+    // cluster's *base* node config, so scoping happens exactly once.
+    let mut config = config;
+    config.durability = config.durability.scoped(format!("n{}", id.index()));
     let (tx, rx) = unbounded();
     // `shards > 1` runs the node as a shard-per-worker pool (the
     // dispatcher below spawns one worker thread per shard); `shards == 1`
@@ -1706,6 +1896,7 @@ fn spawn_node(id: NodeId, config: NodeConfig) -> Result<NodeSlot> {
         sender: Some(tx),
         handle: Some(handle),
         status: SlotStatus::Running,
+        recovered: false,
     })
 }
 
@@ -1843,6 +2034,7 @@ fn scatter_positions(
 mod tests {
     use super::*;
     use shhc_net::encode;
+    use shhc_node::Durability;
 
     fn fps(range: std::ops::Range<u64>) -> Vec<Fingerprint> {
         // Spread test keys uniformly over the ring, as real SHA-1
@@ -1850,6 +2042,54 @@ mod tests {
         range
             .map(|i| Fingerprint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)))
             .collect()
+    }
+
+    /// Tentpole: a WAL-backed node killed mid-traffic comes back warm —
+    /// local WAL replay rebuilds its committed state, delta re-sync
+    /// pulls only what it missed while down (bounded, probed-first),
+    /// and the cluster reports it as recovered.
+    #[test]
+    fn warm_restart_replays_wal_and_resyncs_missed_delta() {
+        let dir = std::env::temp_dir().join(format!("shhc-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let node_config = NodeConfig::small_test().with_durability(Durability::wal(&dir));
+        let cluster =
+            ShhcCluster::spawn(ClusterConfig::new(2, node_config).with_replication(2)).unwrap();
+        let batch = fps(0..300);
+        cluster.lookup_insert_batch(&batch).unwrap();
+
+        cluster.kill_node(NodeId::new(0)).unwrap();
+        // Writes that land while the node is down: the missed delta.
+        let extra = fps(1000..1100);
+        cluster.lookup_insert_batch(&extra).unwrap();
+
+        let report = cluster.restart_node(NodeId::new(0)).unwrap();
+        assert!(
+            report.recovered_entries >= 300,
+            "WAL replay rebuilt only {} of the committed entries",
+            report.recovered_entries
+        );
+        assert!(
+            report.resynced <= extra.len() as u64,
+            "re-sync shipped {} entries for a {}-entry delta",
+            report.resynced,
+            extra.len()
+        );
+        assert!(report.chunks <= report.resynced.max(1));
+
+        let stats = cluster.stats().unwrap();
+        assert_eq!(stats.recovered, vec![NodeId::new(0)]);
+        assert!(stats.crashed.is_empty());
+        assert_eq!(stats.resync_moved, report.resynced);
+        assert_eq!(stats.resync_chunks, report.chunks);
+
+        // Every pre-crash and while-down entry reads as a duplicate.
+        let exists = cluster.lookup_insert_batch(&batch).unwrap();
+        assert!(exists.iter().all(|e| *e), "pre-crash entries lost");
+        let exists = cluster.lookup_insert_batch(&extra).unwrap();
+        assert!(exists.iter().all(|e| *e), "while-down entries lost");
+        cluster.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1923,13 +2163,14 @@ mod tests {
     }
 
     #[test]
-    fn restart_gives_empty_node() {
+    fn cold_restart_gives_empty_node() {
         let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
         cluster.lookup_insert_batch(&fps(0..50)).unwrap();
         cluster.kill_node(NodeId::new(1)).unwrap();
-        cluster.restart_node(NodeId::new(1)).unwrap();
+        cluster.restart_cold(NodeId::new(1)).unwrap();
         assert_eq!(cluster.alive_count(), 2);
-        // The restarted node lost its share; entries now undercount.
+        // A cold restart discards the node's share (even under a WAL:
+        // the directory is wiped); entries now undercount.
         let total = cluster.stats().unwrap().total_entries();
         assert!(total < 50, "restarted node should be empty, total {total}");
         cluster.shutdown().unwrap();
@@ -2079,7 +2320,7 @@ mod tests {
         // restarted node re-inserts with locally-invented values and
         // read repair must overwrite them with the peer's recorded ones.
         cluster.kill_node(NodeId::new(0)).unwrap();
-        cluster.restart_node(NodeId::new(0)).unwrap();
+        cluster.restart_cold(NodeId::new(0)).unwrap();
         let exists = cluster.lookup_insert_batch(&batch).unwrap();
         assert!(exists.iter().all(|e| *e), "peer must still answer");
 
@@ -2106,7 +2347,7 @@ mod tests {
         assert_eq!(before, 800, "replication 2 stores every entry twice");
 
         cluster.kill_node(NodeId::new(0)).unwrap();
-        cluster.restart_node(NodeId::new(0)).unwrap();
+        cluster.restart_cold(NodeId::new(0)).unwrap();
         let after_restart = cluster.stats().unwrap();
         let empty = after_restart
             .nodes
@@ -2114,6 +2355,10 @@ mod tests {
             .find(|n| n.id == NodeId::new(0))
             .unwrap();
         assert_eq!(empty.entries, 0, "cold restart starts empty");
+        assert!(
+            after_restart.recovered.is_empty(),
+            "a cold standby is not a recovered node"
+        );
 
         let report = cluster.rebalance().unwrap();
         assert!(report.moved > 0);

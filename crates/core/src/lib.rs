@@ -55,7 +55,9 @@ mod shared_frontend;
 mod simcluster;
 
 pub use client::{BackupClient, FileEntry, Snapshot, SnapshotReport};
-pub use cluster::{ClusterConfig, ClusterStats, DataPlane, RebalanceReport, ShhcCluster};
+pub use cluster::{
+    ClusterConfig, ClusterStats, DataPlane, RebalanceReport, RecoveryReport, ShhcCluster,
+};
 pub use frontend::{Frontend, SyncFrontend};
 pub use server::NodeSnapshot;
 pub use service::{BackupReport, BackupService, DeleteReport};
@@ -68,6 +70,7 @@ pub use shhc_net::{SharedBatcherStats, Ticket};
 
 // Re-export the substrate APIs a downstream user needs alongside the
 // cluster, so `shhc` works as a single-dependency facade.
+pub use shhc_flash::{Durability, FaultPlan, WalConfig};
 pub use shhc_node::{
     BackendKind, CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats, ShardRouter,
     ShardedNode,

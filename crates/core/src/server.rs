@@ -141,6 +141,19 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
         match request {
             NodeRequest::Data { frame, reply } => {
                 let response = handle_frame(&mut node, &frame);
+                // Group-commit the WAL before acking (no-op for volatile
+                // nodes): once the client sees the reply, the frame's
+                // mutations survive a crash.
+                if let Err(e) = node.wal_commit() {
+                    let _ = reply.send(encode_reusing(
+                        &Frame::Error {
+                            correlation: 0,
+                            message: format!("wal commit failed: {e}"),
+                        },
+                        &mut scratch,
+                    ));
+                    continue;
+                }
                 // A dropped reply channel means the client gave up
                 // (timeout or crash); nothing for the server to do.
                 let _ = reply.send(encode_reusing(&response, &mut scratch));
@@ -164,7 +177,16 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
                     let _ = reply.send(r);
                 }
                 ControlMsg::Shutdown => {
-                    let _ = reply.send(ControlReply::Done);
+                    // Clean shutdown: flush + close the WAL so restart
+                    // replays only segment metadata. A *crashed* node
+                    // never gets here — its channel just disconnects and
+                    // the store drops unclosed, losing uncommitted state
+                    // (and tearing log tails under a FaultPlan).
+                    let r = match node.close() {
+                        Ok(_) => ControlReply::Done,
+                        Err(e) => ControlReply::Failed(e.to_string()),
+                    };
+                    let _ = reply.send(r);
                     break;
                 }
             },
@@ -428,7 +450,11 @@ enum ShardTask {
         slot: usize,
         work: ShardWork,
     },
-    Shutdown,
+    /// Stop the worker. `clean` distinguishes an orderly node shutdown
+    /// (flush + close the shard's WAL, so restart replays nothing) from
+    /// a simulated crash (drop the shard unclosed — uncommitted state is
+    /// lost, exactly what recovery must tolerate).
+    Shutdown { clean: bool },
 }
 
 /// What a worker does with its shard for one sub-frame. `delay` is the
@@ -787,9 +813,22 @@ fn shard_worker(mut shard: HybridHashNode, rx: Receiver<ShardTask>) {
     let mut scratch = BytesMut::new();
     while let Ok(task) = rx.recv() {
         match task {
-            ShardTask::Shutdown => break,
+            ShardTask::Shutdown { clean } => {
+                if clean {
+                    // Orderly exit: checkpoint + close the shard's WAL.
+                    // On the crash path the shard drops unclosed instead.
+                    let _ = shard.close();
+                }
+                break;
+            }
             ShardTask::Work { job, slot, work } => {
-                let outcome = run_shard_work(&mut shard, work);
+                let mut outcome = run_shard_work(&mut shard, work);
+                // Group-commit this shard's WAL before the outcome can
+                // release the frame's reply: an acked sub-frame is a
+                // durable sub-frame. (No-op for volatile shards.)
+                if let Err(e) = shard.wal_commit() {
+                    outcome = ShardOutcome::Failed(format!("wal commit failed: {e}"));
+                }
                 job.complete(slot, outcome, &mut scratch);
             }
         }
@@ -909,9 +948,17 @@ pub(crate) fn sharded_node_loop(
     } else {
         (None, None)
     };
+    // Seed the value allocator past anything the shards recovered from
+    // their WALs, so a warm-restarted node never reissues a value the
+    // pre-crash node already handed out.
+    let next_value = shards
+        .iter()
+        .map(HybridHashNode::next_value_hint)
+        .max()
+        .unwrap_or(0);
     let shared = Arc::new(NodeShared {
         workers: worker_txs,
-        next_value: AtomicU64::new(0),
+        next_value: AtomicU64::new(next_value),
         pool,
     });
     let handles: Vec<JoinHandle<()>> = shards
@@ -942,6 +989,10 @@ pub(crate) fn sharded_node_loop(
         }
     }
     let mut scratch = BytesMut::new();
+    // Clean only via ControlMsg::Shutdown; a channel disconnect (the
+    // cluster killing the node) exits dirty, and the shards drop with
+    // their WALs unclosed — a crash.
+    let mut clean = false;
     while let Ok(request) = rx.recv() {
         match request {
             NodeRequest::Data { frame, reply } => {
@@ -949,6 +1000,7 @@ pub(crate) fn sharded_node_loop(
             }
             NodeRequest::Control { msg, reply } => match msg {
                 ControlMsg::Shutdown => {
+                    clean = true;
                     let _ = reply.send(ControlReply::Done);
                     break;
                 }
@@ -964,7 +1016,7 @@ pub(crate) fn sharded_node_loop(
         }
     }
     for tx in &shared.workers {
-        let _ = tx.send(ShardTask::Shutdown);
+        let _ = tx.send(ShardTask::Shutdown { clean });
     }
     for handle in handles {
         let _ = handle.join();

@@ -122,6 +122,16 @@ enum PageState {
     Programmed,
 }
 
+/// One-shot fault-injection state: each armed fault fires on the next
+/// matching operation, then disarms.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceFaults {
+    /// Next program stores only this many bytes (a torn write).
+    torn_program: Option<usize>,
+    /// Next read returns only this many bytes (a short read).
+    short_read: Option<usize>,
+}
+
 /// An in-memory NAND flash device that enforces flash programming rules.
 ///
 /// - a page can be read any time (reading an erased page yields an error —
@@ -142,6 +152,7 @@ pub struct FlashDevice {
     /// Erase count per block (wear).
     wear: Vec<u64>,
     stats: DeviceStats,
+    faults: DeviceFaults,
 }
 
 impl FlashDevice {
@@ -155,7 +166,23 @@ impl FlashDevice {
             states: vec![PageState::Erased; n],
             wear: vec![0; geometry.blocks as usize],
             stats: DeviceStats::default(),
+            faults: DeviceFaults::default(),
         }
+    }
+
+    /// Arms a one-shot torn write: the next [`FlashDevice::program_page`]
+    /// silently stores only the first `keep_bytes` bytes of its data, as
+    /// if power failed mid-program. The page still counts as programmed
+    /// and the full latency is charged — the caller cannot tell until it
+    /// reads the page back and the checksum/length validation fails.
+    pub fn arm_torn_program(&mut self, keep_bytes: usize) {
+        self.faults.torn_program = Some(keep_bytes);
+    }
+
+    /// Arms a one-shot short read: the next [`FlashDevice::read_page`]
+    /// returns only the first `keep_bytes` bytes of the page.
+    pub fn arm_short_read(&mut self, keep_bytes: usize) {
+        self.faults.short_read = Some(keep_bytes);
     }
 
     /// The device geometry.
@@ -201,7 +228,12 @@ impl FlashDevice {
         }
         self.stats.reads += 1;
         self.stats.busy += self.latency.read;
-        Ok((&self.pages[idx], self.latency.read))
+        let data = &self.pages[idx];
+        let keep = match self.faults.short_read.take() {
+            Some(keep) => keep.min(data.len()),
+            None => data.len(),
+        };
+        Ok((&data[..keep], self.latency.read))
     }
 
     /// Programs an erased page with `data`, returning the program latency.
@@ -225,7 +257,10 @@ impl FlashDevice {
             )));
         }
         self.states[idx] = PageState::Programmed;
-        self.pages[idx] = data.to_vec();
+        self.pages[idx] = match self.faults.torn_program.take() {
+            Some(keep) => data[..keep.min(data.len())].to_vec(),
+            None => data.to_vec(),
+        };
         self.stats.programs += 1;
         self.stats.busy += self.latency.program;
         Ok(self.latency.program)
@@ -348,6 +383,25 @@ mod tests {
         );
         assert_eq!(d.wear()[0], 2);
         assert_eq!(d.wear()[1], 0);
+    }
+
+    #[test]
+    fn torn_program_keeps_only_a_prefix_once() {
+        let mut d = small();
+        d.arm_torn_program(3);
+        d.program_page(0, &[7; 10]).unwrap();
+        assert_eq!(d.read_page(0).unwrap().0, &[7; 3], "torn write truncated");
+        d.program_page(1, &[8; 10]).unwrap();
+        assert_eq!(d.read_page(1).unwrap().0, &[8; 10], "fault was one-shot");
+    }
+
+    #[test]
+    fn short_read_returns_only_a_prefix_once() {
+        let mut d = small();
+        d.program_page(0, &[9; 8]).unwrap();
+        d.arm_short_read(2);
+        assert_eq!(d.read_page(0).unwrap().0, &[9; 2]);
+        assert_eq!(d.read_page(0).unwrap().0, &[9; 8], "fault was one-shot");
     }
 
     #[test]

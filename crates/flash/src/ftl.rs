@@ -161,6 +161,13 @@ impl Ftl {
         &self.device
     }
 
+    /// Mutable access to the wrapped device — for arming fault injection
+    /// ([`FlashDevice::arm_torn_program`], [`FlashDevice::arm_short_read`])
+    /// in recovery tests.
+    pub fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.device
+    }
+
     fn check_lpa(&self, lpa: u64) -> Result<usize> {
         if lpa >= self.logical_pages {
             return Err(Error::invalid(format!(

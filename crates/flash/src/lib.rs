@@ -15,7 +15,11 @@
 //! 3. [`FlashStore`] — a bucketed, persistent fingerprint → value table
 //!    over the FTL with a RAM write buffer (delayed writes, as in
 //!    dedupv1), costing ~one flash page read per cold lookup — the same
-//!    characteristic the paper relies on from Berkeley DB on SSD.
+//!    characteristic the paper relies on from Berkeley DB on SSD,
+//! 4. [`wal`] — an optional write-ahead durability layer
+//!    ([`Durability::Wal`]): a group-committed, checksummed journal plus
+//!    an append-only segment log, replayed on [`FlashStore::open`] so the
+//!    table survives crashes (torn log tails are detected and truncated).
 //!
 //! # Examples
 //!
@@ -40,7 +44,9 @@
 mod device;
 mod ftl;
 mod store;
+pub mod wal;
 
 pub use device::{DeviceStats, FlashDevice, FlashGeometry, FlashLatency};
 pub use ftl::{Ftl, FtlStats};
 pub use store::{FlashConfig, FlashStore, StoreStats};
+pub use wal::{Durability, FaultPlan, RecoveryStats, WalConfig, WalStats};

@@ -2,7 +2,11 @@
 
 use shhc_types::{Error, Fingerprint, FpHashMap, Nanos, Result, FINGERPRINT_LEN};
 
-use crate::{DeviceStats, FlashDevice, FlashGeometry, FlashLatency, Ftl, FtlStats};
+use crate::wal::{DurableLog, JournalOp, SegmentOp};
+use crate::{
+    DeviceStats, Durability, FlashDevice, FlashGeometry, FlashLatency, Ftl, FtlStats,
+    RecoveryStats, WalStats,
+};
 
 /// On-flash record: fingerprint, value, liveness flag, padding to 32 B.
 const RECORD_LEN: usize = 32;
@@ -135,7 +139,13 @@ struct Bucket {
 /// The store itself is deliberately bloom-filter-free: the node layer owns
 /// the in-RAM `<bloom, store>` pair exactly as Figure 3 of the paper draws
 /// it.
-#[derive(Debug, Clone)]
+///
+/// Opened with [`FlashStore::open`] and a [`Durability::Wal`] mode, the
+/// store additionally maintains a write-ahead journal and a segment log
+/// under a data directory (see the [`wal`](crate::wal) module docs), and
+/// replays them on reopen — the crash-recovery path `restart_node`'s warm
+/// variant builds on.
+#[derive(Debug)]
 pub struct FlashStore {
     ftl: Ftl,
     config: FlashConfig,
@@ -149,6 +159,32 @@ pub struct FlashStore {
     free_lpas: Vec<u64>,
     records_per_page: usize,
     stats: StoreStats,
+    /// Write-ahead log pair when the store is durable.
+    wal: Option<DurableLog>,
+    /// True while recovery replays the journal: mutations must not be
+    /// re-journaled (they are already in the file being replayed).
+    replaying: bool,
+}
+
+impl Clone for FlashStore {
+    /// Clones the in-memory state only: the clone is **volatile**, sharing
+    /// no file handles with (and never writing to) the original's data
+    /// directory. Durable stores are process-unique by design; cloning is
+    /// for read-side experimentation on snapshots.
+    fn clone(&self) -> Self {
+        FlashStore {
+            ftl: self.ftl.clone(),
+            config: self.config,
+            buckets: self.buckets.clone(),
+            write_buffer: self.write_buffer.clone(),
+            next_lpa: self.next_lpa,
+            free_lpas: self.free_lpas.clone(),
+            records_per_page: self.records_per_page,
+            stats: self.stats,
+            wal: None,
+            replaying: false,
+        }
+    }
 }
 
 impl FlashStore {
@@ -185,7 +221,159 @@ impl FlashStore {
             records_per_page,
             stats: StoreStats::default(),
             config,
+            wal: None,
+            replaying: false,
         })
+    }
+
+    /// Opens a store under the given [`Durability`] mode.
+    ///
+    /// `Volatile` is identical to [`FlashStore::new`]. `Wal` opens (or
+    /// creates) the journal + segment logs under the configured data
+    /// directory and **recovers**: segment records rebuild the bucket
+    /// directory and page chains on a fresh simulated device, journal
+    /// records re-apply every mutation since the last checkpoint, torn
+    /// tails from a dirty shutdown are truncated (never replayed), the
+    /// live-record count is recomputed from the recovered state, and a
+    /// full flush + checkpoint leaves the store clean. The replay is
+    /// charged to the simulated device clock like any other I/O.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors as in [`FlashStore::new`]; [`Error::Io`] on
+    /// file-system failures; [`Error::InvalidArgument`] when the data
+    /// directory was written under a different geometry;
+    /// [`Error::Corruption`] for undecodable (non-torn) log records.
+    pub fn open(config: FlashConfig, durability: &Durability) -> Result<(Self, RecoveryStats)> {
+        let mut store = Self::new(config)?;
+        let wal_cfg = match durability {
+            Durability::Volatile => return Ok((store, RecoveryStats::default())),
+            Durability::Wal(cfg) => cfg,
+        };
+        let (log, replay) = DurableLog::open(wal_cfg, &config)?;
+        let busy_before = store.ftl.busy();
+
+        let mut recovery = RecoveryStats {
+            journal_records: replay.journal.len() as u64,
+            torn_records: replay.torn_records,
+            torn_bytes: replay.torn_bytes,
+            replay_busy: replay.busy,
+            ..RecoveryStats::default()
+        };
+
+        // Segment records first: they rebuild the on-flash state as of the
+        // crash. The log is attached before the journal replay so pressure
+        // flushes triggered by re-buffered records land in the segment log.
+        store.wal = Some(log);
+        store.replaying = true;
+        for op in replay.segments {
+            match op {
+                SegmentOp::Page { bucket, lpa, data } => {
+                    recovery.segment_pages += 1;
+                    store.replay_page(bucket as usize, lpa, &data)?;
+                }
+                SegmentOp::Compact {
+                    bucket,
+                    freed,
+                    pages,
+                } => {
+                    recovery.compactions += 1;
+                    recovery.segment_pages += pages.len() as u64;
+                    store.replay_compact(bucket as usize, &freed, &pages)?;
+                }
+            }
+        }
+        // Journal records re-apply every mutation since the last
+        // checkpoint. The journal always holds the newest value per
+        // fingerprint over that window, so replaying it in full into the
+        // write buffer is correct even for records already flushed.
+        for op in replay.journal {
+            match op {
+                JournalOp::Set(fp, v) => store.buffer_write(fp, Some(v), false)?,
+                JournalOp::Del(fp) => store.buffer_write(fp, None, false)?,
+            }
+        }
+        store.replaying = false;
+
+        // Liveness is recomputed from the recovered state (replay cannot
+        // distinguish put from update), then everything is flushed and
+        // checkpointed so the next recovery starts from segments alone.
+        let entries = store.scan()?.len() as u64;
+        store.stats.live_records = entries;
+        store.flush()?;
+
+        recovery.entries = entries;
+        recovery.replay_busy += store.ftl.busy() - busy_before;
+        if let Some(w) = store.wal.as_ref() {
+            recovery.replay_busy += w.stats().busy;
+        }
+        Ok((store, recovery))
+    }
+
+    /// Replays one logged page image: programs it at `lpa` and splices
+    /// the page into its bucket chain (a repeated `lpa` is a tail
+    /// rewrite and replaces in place).
+    fn replay_page(&mut self, bucket_idx: usize, lpa: u64, data: &[u8]) -> Result<()> {
+        if bucket_idx >= self.buckets.len() {
+            return Err(Error::Corruption(format!(
+                "segment log names bucket {bucket_idx} of {}",
+                self.buckets.len()
+            )));
+        }
+        if lpa >= self.ftl.logical_pages() {
+            return Err(Error::Corruption(format!(
+                "segment log names logical page {lpa} of {}",
+                self.ftl.logical_pages()
+            )));
+        }
+        let count = iter_records(data)?.len();
+        self.ftl.write(lpa, data)?;
+        self.free_lpas.retain(|&f| f != lpa);
+        self.next_lpa = self.next_lpa.max(lpa + 1);
+        let b = &mut self.buckets[bucket_idx];
+        match b.pages.last() {
+            Some(&tail) if tail == lpa => {
+                // Tail rewrite: the record population replaces the old.
+                b.appended += (count - b.tail_count) as u64;
+                b.tail_count = count;
+            }
+            _ => {
+                b.pages.push(lpa);
+                b.tail_count = count;
+                b.appended += count as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one atomic compaction record: frees the old chain, then
+    /// installs the replacement pages.
+    fn replay_compact(
+        &mut self,
+        bucket_idx: usize,
+        freed: &[u64],
+        pages: &[(u64, Vec<u8>)],
+    ) -> Result<()> {
+        if bucket_idx >= self.buckets.len() {
+            return Err(Error::Corruption(format!(
+                "segment log names bucket {bucket_idx} of {}",
+                self.buckets.len()
+            )));
+        }
+        for &lpa in freed {
+            if self.ftl.is_mapped(lpa) {
+                self.ftl.trim(lpa)?;
+            }
+            self.free_lpas.push(lpa);
+        }
+        let b = &mut self.buckets[bucket_idx];
+        b.pages.clear();
+        b.tail_count = 0;
+        b.appended = 0;
+        for (lpa, data) in pages {
+            self.replay_page(bucket_idx, *lpa, data)?;
+        }
+        Ok(())
     }
 
     /// The store's configuration.
@@ -208,10 +396,51 @@ impl FlashStore {
         self.ftl.device_stats()
     }
 
-    /// Accumulated virtual device busy time. Callers measure per-op cost
-    /// by differencing this around calls.
+    /// Accumulated virtual device busy time, including write-ahead log
+    /// traffic for durable stores (the logs live on the same flash).
+    /// Callers measure per-op cost by differencing this around calls.
     pub fn busy(&self) -> Nanos {
-        self.ftl.busy()
+        self.ftl.busy() + self.wal.as_ref().map_or(Nanos::ZERO, |w| w.stats().busy)
+    }
+
+    /// True when the store persists through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Write-ahead log counters, when durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(DurableLog::stats)
+    }
+
+    /// Group-commits the write-ahead log: every journaled mutation staged
+    /// since the last commit reaches the file, journal before segments.
+    /// The server calls this once per data frame, so an acknowledged
+    /// frame is always recoverable. No-op for volatile stores.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on file-system failures.
+    pub fn wal_commit(&mut self) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(w) => w.commit(),
+            None => Ok(()),
+        }
+    }
+
+    /// Clean shutdown: commits the log and disarms crash fault injection.
+    /// Dropping a durable store *without* closing models a crash (staged
+    /// records are lost and the configured
+    /// [`FaultPlan`](crate::FaultPlan) dirties the log tails).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on file-system failures.
+    pub fn close(&mut self) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(w) => w.close(),
+            None => Ok(()),
+        }
     }
 
     /// Number of records currently buffered in RAM.
@@ -365,6 +594,16 @@ impl FlashStore {
     }
 
     fn buffer_write(&mut self, fp: Fingerprint, value: Option<u64>, count: bool) -> Result<()> {
+        // Write-ahead: journal the mutation before applying it. Recovery
+        // replay skips this — the records come *from* the journal.
+        if !self.replaying {
+            if let Some(w) = self.wal.as_mut() {
+                w.append_journal(&match value {
+                    Some(v) => JournalOp::Set(fp, v),
+                    None => JournalOp::Del(fp),
+                });
+            }
+        }
         match self.write_buffer.insert(fp, value) {
             None => {
                 let bucket = self.bucket_of(fp);
@@ -418,6 +657,10 @@ impl FlashStore {
 
     /// Persists the entire RAM write buffer to flash.
     ///
+    /// For durable stores a full flush is a **checkpoint**: once every
+    /// buffered record has a page in the segment log, the journal is
+    /// committed and truncated, bounding the next recovery's replay.
+    ///
     /// # Errors
     ///
     /// [`Error::OutOfSpace`] when the device cannot hold the new pages.
@@ -428,6 +671,9 @@ impl FlashStore {
             }
         }
         debug_assert!(self.write_buffer.is_empty());
+        if let Some(w) = self.wal.as_mut() {
+            w.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -443,7 +689,7 @@ impl FlashStore {
                 records.push((fp, v));
             }
         }
-        self.append_to_bucket(bucket_idx, &records)?;
+        self.append_to_bucket(bucket_idx, &records, None)?;
         self.maybe_compact(bucket_idx)
     }
 
@@ -461,10 +707,14 @@ impl FlashStore {
         Ok(lpa)
     }
 
+    /// Appends records to a bucket's chain. Each page written is logged to
+    /// the segment log — or pushed into `collect` instead when the caller
+    /// (compaction) needs to bundle the pages into one atomic record.
     fn append_to_bucket(
         &mut self,
         bucket_idx: usize,
         records: &[(Fingerprint, Option<u64>)],
+        mut collect: Option<&mut Vec<(u64, Vec<u8>)>>,
     ) -> Result<()> {
         let rpp = self.records_per_page;
         let mut remaining = records;
@@ -485,6 +735,7 @@ impl FlashStore {
             let (mut data, _) = self.ftl.read(lpa)?;
             append_records(&mut data, now);
             self.ftl.write(lpa, &data)?;
+            self.log_page(&mut collect, bucket_idx, lpa, &data);
             self.buckets[bucket_idx].tail_count = tail_count + take;
             remaining = later;
         }
@@ -498,12 +749,31 @@ impl FlashStore {
 
             let lpa = self.alloc_lpa()?;
             self.ftl.write(lpa, &data)?;
+            self.log_page(&mut collect, bucket_idx, lpa, &data);
             let b = &mut self.buckets[bucket_idx];
             b.pages.push(lpa);
             b.tail_count = take;
             remaining = later;
         }
         Ok(())
+    }
+
+    fn log_page(
+        &mut self,
+        collect: &mut Option<&mut Vec<(u64, Vec<u8>)>>,
+        bucket_idx: usize,
+        lpa: u64,
+        data: &[u8],
+    ) {
+        if let Some(c) = collect.as_mut() {
+            c.push((lpa, data.to_vec()));
+        } else if let Some(w) = self.wal.as_mut() {
+            w.append_segment(&SegmentOp::Page {
+                bucket: bucket_idx as u32,
+                lpa,
+                data: data.to_vec(),
+            });
+        }
     }
 
     /// Rewrites a bucket's chain, dropping stale records (overwritten
@@ -559,8 +829,25 @@ impl FlashStore {
         b.tail_count = 0;
         b.appended = 0;
 
+        // A compaction's inputs may predate the journal's last checkpoint,
+        // so it must be atomic in the segment log: freed chain and
+        // replacement pages travel in ONE checksummed record. A torn
+        // compaction record then leaves the old chain intact on replay.
+        let mut new_pages = Vec::new();
+        let logging = self.wal.is_some();
         if !live.is_empty() {
-            self.append_to_bucket(bucket_idx, &live)?;
+            self.append_to_bucket(
+                bucket_idx,
+                &live,
+                if logging { Some(&mut new_pages) } else { None },
+            )?;
+        }
+        if let Some(w) = self.wal.as_mut() {
+            w.append_segment(&SegmentOp::Compact {
+                bucket: bucket_idx as u32,
+                freed: chain,
+                pages: new_pages,
+            });
         }
         // Growth is measured from this compaction onward.
         self.buckets[bucket_idx].appended = 0;
@@ -1023,8 +1310,303 @@ mod tests {
         assert!(answers.iter().all(|v| v.is_none()));
     }
 
+    // --- durability -------------------------------------------------------
+
+    use crate::FaultPlan;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal(tag: &str) -> Durability {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("shhc-store-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Durability::wal(dir)
+    }
+
+    fn wipe(d: &Durability) {
+        d.wipe();
+    }
+
+    #[test]
+    fn volatile_open_matches_new() {
+        let (mut s, rec) =
+            FlashStore::open(FlashConfig::small_test(), &Durability::Volatile).unwrap();
+        assert_eq!(rec, RecoveryStats::default());
+        assert!(!s.is_durable());
+        s.put(Fingerprint::from_u64(1), 1).unwrap();
+        assert_eq!(s.get(Fingerprint::from_u64(1)).unwrap(), Some(1));
+    }
+
+    /// Every mutation pattern survives a clean close + reopen byte-exactly.
+    #[test]
+    fn clean_restart_recovers_everything() {
+        let wal = temp_wal("clean");
+        let n = 2000u64;
+        {
+            let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            assert_eq!(rec.entries, 0);
+            for i in 0..n {
+                s.put(Fingerprint::from_u64(i), i * 3).unwrap();
+            }
+            for i in (0..n).step_by(5) {
+                s.delete(Fingerprint::from_u64(i)).unwrap();
+            }
+            for i in (1..n).step_by(7) {
+                s.update(Fingerprint::from_u64(i), i + 9000).unwrap();
+            }
+            s.wal_commit().unwrap();
+            s.close().unwrap();
+        }
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert!(rec.entries > 0);
+        assert_eq!(rec.torn_records, 0);
+        for i in 0..n {
+            // Updates ran last, so they revive deleted keys.
+            let expected = if i % 7 == 1 {
+                Some(i + 9000)
+            } else if i % 5 == 0 {
+                None
+            } else {
+                Some(i * 3)
+            };
+            assert_eq!(s.get(Fingerprint::from_u64(i)).unwrap(), expected, "{i}");
+        }
+        assert_eq!(s.len(), rec.entries);
+        wipe(&wal);
+    }
+
+    /// A crash (drop without close) after a commit loses nothing that was
+    /// committed — including records that never reached a flash page.
+    #[test]
+    fn dirty_crash_after_commit_loses_nothing() {
+        let wal = temp_wal("dirty");
+        let n = 500u64;
+        {
+            let (mut s, _) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            for i in 0..n {
+                s.put(Fingerprint::from_u64(i), i).unwrap();
+            }
+            s.wal_commit().unwrap();
+            // dropped without close(): crash
+        }
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert_eq!(rec.entries, n);
+        for i in 0..n {
+            assert_eq!(s.get(Fingerprint::from_u64(i)).unwrap(), Some(i), "{i}");
+        }
+        wipe(&wal);
+    }
+
+    /// Staged-but-uncommitted mutations are lost by a crash (the client
+    /// was never acknowledged), while every committed one survives.
+    #[test]
+    fn dirty_crash_loses_only_the_uncommitted_tail() {
+        let wal = temp_wal("tail");
+        {
+            let (mut s, _) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            s.put(Fingerprint::from_u64(1), 10).unwrap();
+            s.wal_commit().unwrap();
+            s.put(Fingerprint::from_u64(1), 20).unwrap(); // never committed
+            s.put(Fingerprint::from_u64(2), 30).unwrap(); // never committed
+        }
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert_eq!(s.get(Fingerprint::from_u64(1)).unwrap(), Some(10));
+        assert_eq!(s.get(Fingerprint::from_u64(2)).unwrap(), None);
+        assert_eq!(rec.entries, 1);
+        wipe(&wal);
+    }
+
+    /// Torn log tails from a dirty shutdown are detected by checksum,
+    /// truncated, and never replayed.
+    #[test]
+    fn torn_tails_are_truncated_not_replayed() {
+        let base = temp_wal("torn");
+        let wal = match &base {
+            Durability::Wal(cfg) => {
+                Durability::Wal(cfg.clone().with_fault(FaultPlan::torn_tails()))
+            }
+            Durability::Volatile => unreachable!(),
+        };
+        let n = 300u64;
+        {
+            let (mut s, _) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            for i in 0..n {
+                s.put(Fingerprint::from_u64(i), i).unwrap();
+            }
+            s.wal_commit().unwrap();
+            // crash: the fault plan appends torn fragments to both logs
+        }
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert_eq!(rec.torn_records, 2, "both torn tails detected");
+        assert!(rec.torn_bytes > 0);
+        assert_eq!(rec.entries, n, "torn fragments cost no committed data");
+        for i in 0..n {
+            assert_eq!(s.get(Fingerprint::from_u64(i)).unwrap(), Some(i));
+        }
+        wipe(&wal);
+    }
+
+    /// Compactions recover exactly: stale versions stay dead, live
+    /// records stay live, even across multiple crash/recover cycles.
+    #[test]
+    fn compacted_store_recovers_exactly() {
+        let wal = temp_wal("compact");
+        let cfg = FlashConfig {
+            geometry: FlashGeometry::new(512, 8, 128),
+            latency: FlashLatency::zero(),
+            overprovision: 0.25,
+            buckets: 1,
+            write_buffer: 4,
+        };
+        {
+            let (mut s, _) = FlashStore::open(cfg, &wal).unwrap();
+            for round in 0..3u64 {
+                for i in 0..200u64 {
+                    s.put(Fingerprint::from_u64(i), i + round * 1000).unwrap();
+                }
+            }
+            s.flush().unwrap();
+            assert!(s.stats().compactions > 0, "test must exercise compaction");
+            s.wal_commit().unwrap();
+        }
+        let (mut s, rec) = FlashStore::open(cfg, &wal).unwrap();
+        assert_eq!(rec.entries, 200);
+        assert!(rec.compactions > 0, "compaction records replayed");
+        for i in 0..200u64 {
+            assert_eq!(s.get(Fingerprint::from_u64(i)).unwrap(), Some(i + 2000));
+        }
+        wipe(&wal);
+    }
+
+    /// Recovery replay is charged to the simulated device clock.
+    #[test]
+    fn recovery_charges_simulated_time() {
+        let wal = temp_wal("busy");
+        let cfg = FlashConfig::small_test_with_latency();
+        {
+            let (mut s, _) = FlashStore::open(cfg, &wal).unwrap();
+            for i in 0..200u64 {
+                s.put(Fingerprint::from_u64(i), i).unwrap();
+            }
+            s.flush().unwrap();
+            s.close().unwrap();
+            assert!(s.busy() > s.ftl.busy(), "log writes charge device time");
+        }
+        let (_s, rec) = FlashStore::open(cfg, &wal).unwrap();
+        assert!(rec.replay_busy >= Nanos::from_micros(25));
+        wipe(&wal);
+    }
+
+    /// Crash → recover → crash → recover: state converges, nothing leaks.
+    #[test]
+    fn repeated_crash_recover_cycles_converge() {
+        let wal = temp_wal("cycles");
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for cycle in 0..4u64 {
+            let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            assert_eq!(rec.entries as usize, expected.len(), "cycle {cycle}");
+            for i in 0..150u64 {
+                let key = cycle * 100 + i;
+                s.put(Fingerprint::from_u64(key), key * 7).unwrap();
+                expected.insert(key, key * 7);
+            }
+            s.wal_commit().unwrap();
+            // crash (drop without close)
+        }
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert_eq!(rec.entries as usize, expected.len());
+        for (k, v) in &expected {
+            assert_eq!(s.get(Fingerprint::from_u64(*k)).unwrap(), Some(*v));
+        }
+        wipe(&wal);
+    }
+
+    /// A short device read surfaces as `Corruption`, never a wrong answer.
+    #[test]
+    fn short_device_read_is_detected_as_corruption() {
+        let mut s = store();
+        let fp = Fingerprint::from_u64(77);
+        s.put(fp, 1).unwrap();
+        s.flush().unwrap();
+        s.ftl.device_mut().arm_short_read(2);
+        assert!(matches!(s.get(fp), Err(Error::Corruption(_))));
+        assert_eq!(s.get(fp).unwrap(), Some(1), "fault was one-shot");
+    }
+
+    /// A torn page program surfaces as `Corruption` on read-back.
+    #[test]
+    fn torn_page_program_is_detected_as_corruption() {
+        let mut s = store();
+        let fp = Fingerprint::from_u64(88);
+        s.put(fp, 1).unwrap();
+        s.ftl.device_mut().arm_torn_program(PAGE_HEADER_LEN + 5);
+        s.flush().unwrap();
+        assert!(matches!(s.get(fp), Err(Error::Corruption(_))));
+    }
+
+    /// Clones of a durable store are volatile and never write to the
+    /// original's directory.
+    #[test]
+    fn clones_are_volatile() {
+        let wal = temp_wal("clone");
+        let (mut s, _) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        s.put(Fingerprint::from_u64(1), 1).unwrap();
+        s.wal_commit().unwrap();
+        let mut c = s.clone();
+        assert!(!c.is_durable());
+        c.put(Fingerprint::from_u64(2), 2).unwrap();
+        c.flush().unwrap();
+        drop(c);
+        s.close().unwrap();
+        drop(s);
+        let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+        assert_eq!(rec.entries, 1);
+        assert_eq!(s.get(Fingerprint::from_u64(2)).unwrap(), None);
+        wipe(&wal);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Random put/delete/update/flush traffic with a crash at a random
+        /// point recovers exactly the committed prefix.
+        #[test]
+        fn prop_crash_recovery_matches_model(seed: u64, ops in 20usize..250) {
+            let wal = temp_wal("prop");
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            {
+                let (mut s, _) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..ops {
+                    let key = rng.gen_range(0..80u64);
+                    let fp = Fingerprint::from_u64(key);
+                    match rng.gen_range(0..10) {
+                        0..=5 => {
+                            let v = rng.gen::<u64>();
+                            s.put(fp, v).unwrap();
+                            model.insert(key, v);
+                        }
+                        6..=7 => {
+                            s.delete(fp).unwrap();
+                            model.remove(&key);
+                        }
+                        _ => s.flush().unwrap(),
+                    }
+                }
+                s.wal_commit().unwrap();
+                // crash
+            }
+            let (mut s, rec) = FlashStore::open(FlashConfig::small_test(), &wal).unwrap();
+            prop_assert_eq!(rec.entries as usize, model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(s.get(Fingerprint::from_u64(*k)).unwrap(), Some(*v));
+            }
+            let scanned = s.scan().unwrap();
+            prop_assert_eq!(scanned.len(), model.len());
+            wipe(&wal);
+        }
 
         /// The store behaves like a HashMap under random put/delete/get
         /// with random flush points.

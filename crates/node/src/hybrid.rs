@@ -2,7 +2,7 @@
 
 use shhc_bloom::BloomFilter;
 use shhc_cache::{Cache, LruCache, SegmentedLruCache, TwoQCache};
-use shhc_flash::{DeviceStats, FlashConfig, FlashStore, FtlStats};
+use shhc_flash::{DeviceStats, Durability, FlashConfig, FlashStore, FtlStats};
 use shhc_index::{AnyHandle, AnyIndex, BackendKind, Collection, CollectionHandle};
 use shhc_types::{Fingerprint, KeyRange, Nanos, NodeId, Result};
 
@@ -19,6 +19,16 @@ pub enum CachePolicy {
     Slru,
     /// 2Q (ghost-list admission).
     TwoQ,
+}
+
+/// A process-unique temp directory for a WAL-backed test node
+/// (`SHHC_TEST_DURABILITY=wal`): pid + monotonic counter keep parallel
+/// test binaries and successive test nodes from sharing store state.
+fn unique_test_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("shhc-test-{}-{seq}", std::process::id()))
 }
 
 /// Configuration of one hybrid node.
@@ -72,6 +82,14 @@ pub struct NodeConfig {
     /// outnumber shards) answer `QueryReq` frames from the mirror index
     /// while writes stay serialized on the shard workers.
     pub readers: u32,
+    /// Persistence mode of the node's flash store.
+    /// [`Durability::Volatile`] (the default) keeps the historical
+    /// behavior — state dies with the process. [`Durability::Wal`] gives
+    /// the node a data-dir root under which its store (one subdirectory
+    /// per shard) keeps a write-ahead journal + segment log, replayed on
+    /// restart to rebuild the bucket directory, bloom filter and RAM
+    /// cache before the node accepts traffic.
+    pub durability: Durability,
 }
 
 impl NodeConfig {
@@ -92,6 +110,7 @@ impl NodeConfig {
             shards: 1,
             backend: BackendKind::Single,
             readers: 0,
+            durability: Durability::Volatile,
         }
     }
 
@@ -108,6 +127,10 @@ impl NodeConfig {
     /// its live records into that backend and gets a two-thread reader
     /// pool, so the whole suite exercises pool-served queries against a
     /// concurrent index unmodified.
+    ///
+    /// Honors `SHHC_TEST_DURABILITY=wal` the same way: every test node
+    /// gets a WAL-backed store under a unique temp directory, so the
+    /// whole suite runs on top of the durable flash path unmodified.
     pub fn small_test() -> Self {
         let shards = std::env::var("SHHC_TEST_SHARDS")
             .ok()
@@ -115,6 +138,10 @@ impl NodeConfig {
             .filter(|&s| s > 0)
             .unwrap_or(1);
         let backend = BackendKind::from_env("SHHC_TEST_BACKEND").unwrap_or_default();
+        let durability = match std::env::var("SHHC_TEST_DURABILITY").as_deref() {
+            Ok("wal") => Durability::wal(unique_test_dir()),
+            _ => Durability::Volatile,
+        };
         NodeConfig {
             cache_capacity: 64,
             cache_policy: CachePolicy::Lru,
@@ -128,6 +155,7 @@ impl NodeConfig {
             shards,
             backend,
             readers: if backend.concurrent() { 2 } else { 0 },
+            durability,
         }
     }
 
@@ -151,6 +179,14 @@ impl NodeConfig {
     /// [`NodeConfig::backend`]).
     pub fn with_readers(mut self, readers: u32) -> Self {
         self.readers = readers;
+        self
+    }
+
+    /// Returns this configuration with the given [`Durability`] mode.
+    /// `Durability::wal(dir)` makes the node's flash store journal every
+    /// mutation under `dir` and replay it on restart.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -279,6 +315,19 @@ pub struct NodeStats {
     /// subset of [`NodeStats::queries`], so `pool_queries / queries` is
     /// the pool's share of the query traffic (its occupancy).
     pub pool_queries: u64,
+    /// Live entries rebuilt from the WAL when this node (re)opened its
+    /// store — zero for volatile nodes and for first boots of a durable
+    /// node.
+    pub recovered_entries: u64,
+    /// WAL records (journal + segment pages + compactions) replayed at
+    /// recovery.
+    pub recovery_replayed: u64,
+    /// Torn (partially written) WAL tail records detected, truncated and
+    /// *not* replayed at recovery.
+    pub recovery_torn: u64,
+    /// Virtual time spent replaying the WAL at recovery (also included
+    /// in [`NodeStats::busy`]).
+    pub recovery_busy: Nanos,
 }
 
 impl NodeStats {
@@ -304,6 +353,10 @@ impl NodeStats {
             acc.lock_waits += p.lock_waits;
             acc.read_retries += p.read_retries;
             acc.pool_queries += p.pool_queries;
+            acc.recovered_entries += p.recovered_entries;
+            acc.recovery_replayed += p.recovery_replayed;
+            acc.recovery_torn += p.recovery_torn;
+            acc.recovery_busy += p.recovery_busy;
             acc
         })
     }
@@ -425,25 +478,62 @@ impl NodeCache {
 impl HybridHashNode {
     /// Creates a node with the given configuration.
     ///
+    /// With [`Durability::Wal`] the flash store is *opened*, not created:
+    /// any surviving journal + segment log under the data dir is replayed
+    /// first, and the node warms its bloom filter, RAM cache and mirror
+    /// index from the recovered records before accepting traffic — a
+    /// restarted node answers exactly as it did before the crash.
+    ///
     /// # Errors
     ///
     /// Propagates [`shhc_types::Error::InvalidArgument`] from the flash
-    /// store configuration.
+    /// store configuration and [`shhc_types::Error::Io`] /
+    /// [`shhc_types::Error::Corruption`] from WAL recovery.
     pub fn new(id: NodeId, config: NodeConfig) -> Result<Self> {
-        let store = FlashStore::new(config.flash)?;
+        let (mut store, recovery) = FlashStore::open(config.flash, &config.durability)?;
         let mirror = config
             .backend
             .concurrent()
             .then(|| AnyIndex::new(config.backend, config.cache_capacity));
-        let mirror_writer = mirror.as_ref().map(Collection::pin);
+        let mut mirror_writer = mirror.as_ref().map(Collection::pin);
+
+        let mut bloom = BloomFilter::with_rate(config.bloom_expected, config.bloom_fpr);
+        let mut cache = NodeCache::new(config.cache_policy, config.cache_capacity);
+        let mut stats = NodeStats::default();
+        let mut next_value = 0;
+        let mut warm_cost = Nanos::ZERO;
+        if recovery.entries > 0 {
+            // Warm the read path from the recovered table: bloom must see
+            // every live fingerprint (or lookups would wrongly skip the
+            // SSD), the cache and mirror may see all of them (both are
+            // capacity-bounded), and value allocation resumes above the
+            // highest recovered value.
+            let before = store.busy();
+            for (fp, value) in store.scan()? {
+                bloom.insert(fp.as_bytes());
+                cache.insert(fp, value);
+                if let Some(w) = mirror_writer.as_mut() {
+                    w.insert(fp, value);
+                }
+                next_value = next_value.max(value + 1);
+            }
+            warm_cost = store.busy() - before;
+            stats.recovered_entries = recovery.entries;
+        }
+        stats.recovery_replayed =
+            recovery.journal_records + recovery.segment_pages + recovery.compactions;
+        stats.recovery_torn = recovery.torn_records;
+        stats.recovery_busy = recovery.replay_busy + warm_cost;
+        stats.busy += stats.recovery_busy;
+
         Ok(HybridHashNode {
             id,
-            bloom: BloomFilter::with_rate(config.bloom_expected, config.bloom_fpr),
-            cache: NodeCache::new(config.cache_policy, config.cache_capacity),
+            bloom,
+            cache,
             store,
             config,
-            stats: NodeStats::default(),
-            next_value: 0,
+            stats,
+            next_value,
             mirror,
             mirror_writer,
         })
@@ -838,6 +928,51 @@ impl HybridHashNode {
     /// Propagates device errors.
     pub fn flush(&mut self) -> Result<Nanos> {
         self.charged_store(|s| s.flush())
+    }
+
+    /// First value [`HybridHashNode::lookup_insert`] would assign. After
+    /// recovery this is one past the highest recovered value, letting
+    /// the cluster server reseed its value allocator without handing out
+    /// ids the pre-crash node already used.
+    pub fn next_value_hint(&self) -> u64 {
+        self.next_value
+    }
+
+    /// True when the node's store persists through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Group-commits the write-ahead log: every mutation staged since
+    /// the last commit reaches the journal file. The cluster server
+    /// calls this after each data-plane frame, so an acknowledged frame
+    /// is always recoverable. No-op for volatile nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`shhc_types::Error::Io`] on file-system failures.
+    pub fn wal_commit(&mut self) -> Result<()> {
+        self.store.wal_commit()
+    }
+
+    /// Clean shutdown: flushes the write buffer (checkpointing the
+    /// journal) and closes the WAL, so a subsequent open replays only
+    /// segment metadata. Dropping the node *without* closing models a
+    /// crash — staged records are lost and any configured
+    /// [`shhc_flash::FaultPlan`] dirties the log tails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device and file-system errors.
+    pub fn close(&mut self) -> Result<Nanos> {
+        let cost = self.charged_store(|s| {
+            if s.is_durable() {
+                s.flush()?;
+            }
+            s.close()
+        })?;
+        self.charge(cost);
+        Ok(cost)
     }
 
     /// Sets the value stored with a fingerprint: overwrites when the node
@@ -1380,6 +1515,76 @@ mod tests {
         assert!(n.mirror_index().is_none());
         let s = n.stats();
         assert_eq!((s.lock_waits, s.read_retries, s.pool_queries), (0, 0, 0));
+    }
+
+    /// A durable node that crashed (dropped without `close`) after
+    /// committing comes back answering exactly as before: every
+    /// committed fingerprint is a duplicate, values are identical, and
+    /// value allocation resumes past the recovered maximum.
+    #[test]
+    fn durable_node_survives_crash() {
+        let dir = std::env::temp_dir().join(format!("shhc-node-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = NodeConfig::small_test().with_durability(Durability::wal(&dir));
+        // Real device latency, so recovery's simulated-time charge is
+        // observable.
+        config.flash = FlashConfig::small_test_with_latency();
+        let mut values = Vec::new();
+        {
+            let mut n = HybridHashNode::new(NodeId::new(3), config.clone()).unwrap();
+            assert!(n.is_durable());
+            assert_eq!(
+                n.stats().recovered_entries,
+                0,
+                "first boot recovers nothing"
+            );
+            for i in 0..300 {
+                values.push(n.lookup_insert(fp(i)).unwrap().value);
+            }
+            n.wal_commit().unwrap();
+            // Dropped here without close(): a crash.
+        }
+        let mut n = HybridHashNode::new(NodeId::new(3), config).unwrap();
+        let s = n.stats();
+        assert_eq!(s.recovered_entries, 300);
+        assert!(s.recovery_replayed > 0);
+        assert!(s.recovery_busy > Nanos::ZERO);
+        assert!(n.next_value_hint() > 0);
+        for i in 0..300 {
+            let r = n.lookup_insert(fp(i)).unwrap();
+            assert!(r.existed, "fingerprint {i} lost in the crash");
+            assert_eq!(r.value, values[i as usize], "value changed for {i}");
+        }
+        let fresh = n.lookup_insert(fp(9999)).unwrap();
+        assert!(!fresh.existed);
+        assert!(
+            !values.contains(&fresh.value),
+            "recovered allocator reissued a pre-crash value"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Clean shutdown (`close`) checkpoints the journal; reopening
+    /// replays only segment metadata and still recovers every entry.
+    #[test]
+    fn durable_node_clean_shutdown_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("shhc-node-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = NodeConfig::small_test().with_durability(Durability::wal(&dir));
+        {
+            let mut n = HybridHashNode::new(NodeId::new(4), config.clone()).unwrap();
+            for i in 0..200 {
+                n.lookup_insert(fp(i)).unwrap();
+            }
+            n.close().unwrap();
+        }
+        let mut n = HybridHashNode::new(NodeId::new(4), config).unwrap();
+        assert_eq!(n.stats().recovered_entries, 200);
+        assert_eq!(n.entries(), 200);
+        for i in 0..200 {
+            assert!(n.query(fp(i)).unwrap().existed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     proptest! {

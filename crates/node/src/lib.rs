@@ -48,4 +48,6 @@ pub use hybrid::{
 pub use sharded::{
     merge_classified, MergedLookup, ShardRouter, ShardedNode, SubBatch, SubClassified,
 };
+// The durability mode is part of `NodeConfig`'s public surface.
+pub use shhc_flash::{Durability, FaultPlan, WalConfig};
 pub use shhc_index::BackendKind;

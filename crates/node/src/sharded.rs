@@ -229,14 +229,27 @@ impl ShardedNode {
         let router = ShardRouter::new(config.shards);
         let slice = config.shard_slice();
         let shards = (0..router.count())
-            .map(|_| HybridHashNode::new(id, slice.clone()))
+            .map(|i| {
+                // Each shard persists under its own subdirectory of the
+                // node's data dir (no-op for volatile configs), so shard
+                // WALs never interleave and a restart reopens each
+                // shard's own log.
+                let mut shard_cfg = slice.clone();
+                shard_cfg.durability = config.durability.scoped(format!("s{i}"));
+                HybridHashNode::new(id, shard_cfg)
+            })
             .collect::<Result<Vec<_>>>()?;
+        let next_value = shards
+            .iter()
+            .map(HybridHashNode::next_value_hint)
+            .max()
+            .unwrap_or(0);
         Ok(ShardedNode {
             id,
             config,
             router,
             shards,
-            next_value: 0,
+            next_value,
         })
     }
 
@@ -439,6 +452,39 @@ impl ShardedNode {
         let mut cost = Nanos::ZERO;
         for shard in &mut self.shards {
             cost += shard.flush()?;
+        }
+        Ok(cost)
+    }
+
+    /// First value [`ShardedNode::lookup_insert`] would assign — after
+    /// recovery, one past the highest value any shard recovered.
+    pub fn next_value_hint(&self) -> u64 {
+        self.next_value
+    }
+
+    /// Group-commits every shard's write-ahead log (no-op for volatile
+    /// nodes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from any shard.
+    pub fn wal_commit(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.wal_commit()?;
+        }
+        Ok(())
+    }
+
+    /// Cleanly shuts every shard down (flush + WAL close). Dropping the
+    /// node without closing models a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device and file-system errors from any shard.
+    pub fn close(&mut self) -> Result<Nanos> {
+        let mut cost = Nanos::ZERO;
+        for shard in &mut self.shards {
+            cost += shard.close()?;
         }
         Ok(cost)
     }

@@ -36,7 +36,7 @@ fn main() -> Result<()> {
     assert_eq!(found, 3000, "replication must mask the crash");
 
     println!("\n=== restart node-1 (cold) and add a fourth node ===");
-    cluster.restart_node(NodeId::new(1))?;
+    cluster.restart_cold(NodeId::new(1))?;
     let (new_id, report) = cluster.add_node()?;
     println!(
         "{new_id} joined; rebalance scanned {} and moved {} fingerprints",

@@ -159,7 +159,7 @@ fn replicated_cluster_masks_single_failures_fully() {
             found, 2_000,
             "with r=2, killing {victim} must not lose answers"
         );
-        cluster.restart_node(NodeId::new(victim)).unwrap();
+        cluster.restart_cold(NodeId::new(victim)).unwrap();
         // Re-warm the cold node: the fan-out write path re-registers
         // every fingerprint on it, restoring the replication factor
         // before the next failure (a stand-in for anti-entropy repair).

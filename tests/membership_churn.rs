@@ -21,7 +21,8 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use shhc::{
-    BackupService, ClusterConfig, DataPlane, Error, Fingerprint, NodeId, ShhcCluster, StreamId,
+    BackupService, ClusterConfig, DataPlane, Durability, Error, FaultPlan, Fingerprint, NodeId,
+    ShhcCluster, StreamId, WalConfig,
 };
 use shhc_chunking::FixedChunker;
 use shhc_storage::MemChunkStore;
@@ -230,7 +231,11 @@ fn graceful_churn_preserves_perfect_dedup() {
 enum ChurnEvent {
     Add,
     Drain,
+    /// Kill, then rejoin as an empty cold standby.
     KillRestart,
+    /// Kill, then warm-restart: WAL replay (when durable) plus delta
+    /// re-sync from replica peers.
+    CrashRecover,
     Pause(u64),
 }
 
@@ -240,10 +245,11 @@ enum ChurnEvent {
 fn schedule(seed: u64, len: usize) -> Vec<ChurnEvent> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
-        .map(|_| match rng.gen_range(0..4u32) {
+        .map(|_| match rng.gen_range(0..5u32) {
             0 => ChurnEvent::Add,
             1 => ChurnEvent::Drain,
             2 => ChurnEvent::KillRestart,
+            3 => ChurnEvent::CrashRecover,
             _ => ChurnEvent::Pause(rng.gen_range(1..8)),
         })
         .collect()
@@ -306,7 +312,20 @@ fn seeded_churn_chaos_keeps_backups_restorable() {
                     if let Some(&victim) = killable.last() {
                         cluster.kill_node(victim).unwrap();
                         std::thread::sleep(Duration::from_millis(5));
-                        cluster.restart_node(victim).unwrap();
+                        cluster.restart_cold(victim).unwrap();
+                    }
+                }
+                ChurnEvent::CrashRecover => {
+                    if let Some(&victim) = killable.last() {
+                        cluster.kill_node(victim).unwrap();
+                        std::thread::sleep(Duration::from_millis(5));
+                        let report = cluster.restart_node(victim).unwrap();
+                        assert!(
+                            report.chunks <= report.resynced.max(1),
+                            "seed {seed}: re-sync shipped {} chunks for {} entries",
+                            report.chunks,
+                            report.resynced
+                        );
                     }
                 }
                 ChurnEvent::Pause(ms) => std::thread::sleep(Duration::from_millis(ms)),
@@ -363,7 +382,7 @@ fn seeded_churn_chaos_keeps_backups_restorable() {
     }
 }
 
-/// Satellite: cold-standby semantics of `restart_node`. A restarted node
+/// Satellite: cold-standby semantics of `restart_cold`. A restarted node
 /// relearns entries as traffic arrives, and an explicit rebalance
 /// repopulates its full share — `entry_shares` re-converges.
 #[test]
@@ -379,7 +398,7 @@ fn restarted_node_relearns_and_rebalance_reconverges_shares() {
     let exists = cluster.lookup_insert_batch(&all[..500]).unwrap();
     assert!(exists.iter().all(|e| *e));
 
-    cluster.restart_node(victim).unwrap();
+    cluster.restart_cold(victim).unwrap();
     let cold = cluster.stats().unwrap();
     let empty = cold.nodes.iter().find(|n| n.id == victim).unwrap();
     assert_eq!(empty.entries, 0, "cold standby restarts empty");
@@ -451,6 +470,77 @@ fn removes_during_migration_do_not_resurrect() {
     let exists = cluster.query_batch(&keep).unwrap();
     assert!(exists.iter().all(|e| *e), "survivor lost during migration");
     cluster.shutdown().unwrap();
+}
+
+/// Satellite: crash recovery under live backup traffic. A WAL-backed
+/// node is killed mid-backup with dirty-shutdown fault injection armed
+/// (torn journal/segment tails), warm-restarted, and the suite asserts
+/// the durability contract: zero client-recorded entries lost (every
+/// acked chunk still deduplicates), byte-exact restores, and re-sync
+/// traffic bounded by the entries actually moved.
+#[test]
+fn crash_recover_mid_backup_loses_nothing() {
+    let dir = std::env::temp_dir().join(format!("shhc-churn-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = roomy_config(3).with_replication(2).with_migration_chunk(64);
+    // Durable nodes whose every dirty shutdown also tears the final
+    // journal + segment records — recovery must truncate, not replay.
+    config.node_config.durability =
+        Durability::Wal(WalConfig::new(&dir).with_fault(FaultPlan::torn_tails()));
+    let cluster = ShhcCluster::spawn(config).unwrap();
+    let service = service_on(&cluster);
+
+    // A client runs backup generations while the crash happens.
+    let worker = {
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let mut generations = Vec::new();
+            for generation in 0..3u32 {
+                let data = random_data(90_000, 40_000 + u64::from(generation));
+                let report = service.backup(StreamId::new(generation), &data).unwrap();
+                assert_eq!(service.restore(&report.manifest).unwrap(), data);
+                generations.push((data, report));
+            }
+            generations
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(3));
+    let victim = NodeId::new(2);
+    cluster.kill_node(victim).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    let report = cluster.restart_node(victim).unwrap();
+    assert!(
+        report.recovered_entries > 0 || report.replayed == 0,
+        "a node that replayed WAL records must recover entries"
+    );
+    assert!(
+        report.chunks <= report.resynced.max(1),
+        "re-sync shipped {} chunks for {} entries",
+        report.chunks,
+        report.resynced
+    );
+
+    let generations = worker.join().unwrap();
+
+    // Zero lost client-recorded entries: every acked chunk still
+    // deduplicates, and every snapshot restores byte-exactly.
+    for (i, (data, first)) in generations.iter().enumerate() {
+        assert_eq!(&service.restore(&first.manifest).unwrap(), data);
+        let again = service.backup(StreamId::new(300 + i as u32), data).unwrap();
+        assert_eq!(
+            again.new_chunks, 0,
+            "generation {i}: client-recorded entries lost in the crash"
+        );
+    }
+
+    let stats = cluster.stats().unwrap();
+    assert_eq!(stats.recovered, vec![victim]);
+    assert!(stats.crashed.is_empty());
+    assert_eq!(stats.resync_moved, report.resynced);
+    assert_eq!(stats.resync_chunks, report.chunks);
+    cluster.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Errors keep their shape under churn: killing a node without
