@@ -70,6 +70,12 @@ pub fn map_shootout_quick() -> bool {
     env_flag("SHHC_MAP_SHOOTOUT_QUICK")
 }
 
+/// Quick mode for the self-tuning bench (`SHHC_ADAPTIVE_QUICK`): short
+/// traces and a reduced static grid for a CI smoke run.
+pub fn adaptive_quick() -> bool {
+    env_flag("SHHC_ADAPTIVE_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

@@ -37,13 +37,15 @@
 #![warn(missing_docs)]
 
 mod lru;
+mod sizer;
 mod slru;
 mod stats;
 mod twoq;
 
 pub use lru::LruCache;
+pub use sizer::{CacheSizer, SizerConfig, SizerDecision};
 pub use slru::SegmentedLruCache;
-pub use stats::CacheStats;
+pub use stats::{CacheStats, WindowedHitRate};
 pub use twoq::TwoQCache;
 
 use std::hash::Hash;
@@ -77,8 +79,33 @@ pub trait Cache<K, V> {
     /// Maximum number of entries.
     fn capacity(&self) -> usize;
 
+    /// Changes the capacity online. Shrinking evicts down to the new
+    /// bound in the policy's own eviction order (counted in
+    /// [`CacheStats::evictions`]); growing takes effect immediately for
+    /// subsequent inserts. Cached answers are never changed — only how
+    /// many entries may stay resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is below the policy's minimum (1 for LRU,
+    /// 2 for SLRU, 4 for 2Q).
+    fn resize(&mut self, capacity: usize);
+
     /// Hit/miss/eviction counters.
     fn stats(&self) -> CacheStats;
+
+    /// Exponentially decayed recent hit ratio (see [`WindowedHitRate`]) —
+    /// the control signal for cache autosizing, where the lifetime
+    /// [`CacheStats::hit_ratio`] is too slow to move.
+    fn recent_hit_ratio(&self) -> f64 {
+        self.stats().hit_ratio()
+    }
+
+    /// Exponentially decayed recent miss count (the marginal-utility
+    /// sizer's raw demand signal).
+    fn recent_misses(&self) -> f64 {
+        self.stats().misses as f64
+    }
 
     /// Empties the cache (stats are preserved).
     fn clear(&mut self);

@@ -4,7 +4,8 @@ use std::hash::BuildHasher;
 
 use shhc_types::FingerprintBuildHasher;
 
-use crate::{Cache, CacheKey, CacheStats, LruCache};
+use crate::stats::RECENT_HALF_LIFE;
+use crate::{Cache, CacheKey, CacheStats, LruCache, WindowedHitRate};
 
 /// Two-segment LRU (probation + protected).
 ///
@@ -33,7 +34,9 @@ use crate::{Cache, CacheKey, CacheStats, LruCache};
 pub struct SegmentedLruCache<K, V, S = FingerprintBuildHasher> {
     probation: LruCache<K, V, S>,
     protected: LruCache<K, V, S>,
+    protected_fraction: f64,
     stats: CacheStats,
+    recent: WindowedHitRate,
 }
 
 impl<K: CacheKey, V> SegmentedLruCache<K, V> {
@@ -70,7 +73,9 @@ impl<K: CacheKey, V, S: BuildHasher + Clone> SegmentedLruCache<K, V, S> {
         SegmentedLruCache {
             probation: LruCache::with_hasher(probation, hasher.clone()),
             protected: LruCache::with_hasher(protected, hasher),
+            protected_fraction,
             stats: CacheStats::default(),
+            recent: WindowedHitRate::new(RECENT_HALF_LIFE),
         }
     }
 }
@@ -92,12 +97,14 @@ impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for SegmentedLruCache<K, V, S> 
         // Hit in protected: plain recency update.
         if self.protected.peek(key) {
             self.stats.hits += 1;
+            self.recent.observe(true);
             return self.protected.get(key);
         }
         // Hit in probation: promote to protected; protected overflow
         // demotes its LRU back to probation.
         if let Some(value) = self.probation.remove(key) {
             self.stats.hits += 1;
+            self.recent.observe(true);
             if let Some((dk, dv)) = self.protected.insert(key.clone(), value) {
                 self.probation.insert(dk, dv);
             }
@@ -106,6 +113,7 @@ impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for SegmentedLruCache<K, V, S> 
             return self.protected.get(key);
         }
         self.stats.misses += 1;
+        self.recent.observe(false);
         None
     }
 
@@ -140,8 +148,37 @@ impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for SegmentedLruCache<K, V, S> 
         self.probation.capacity() + self.protected.capacity()
     }
 
+    fn resize(&mut self, capacity: usize) {
+        assert!(capacity >= 2, "segmented LRU needs capacity ≥ 2");
+        let protected_cap = ((capacity as f64 * self.protected_fraction) as usize)
+            .max(1)
+            .min(capacity - 1);
+        let probation_cap = capacity - protected_cap;
+        let before = self.len();
+        // Probation first (may already free room), then demote protected
+        // overflow into probation — a shrink keeps the hottest entries
+        // resident and pushes the protected tail down a tier instead of
+        // dropping it outright.
+        self.probation.resize(probation_cap);
+        while self.protected.len() > protected_cap {
+            if let Some((k, v)) = self.protected.pop_lru() {
+                self.probation.insert(k, v);
+            }
+        }
+        self.protected.resize(protected_cap);
+        self.stats.evictions += (before - self.len()) as u64;
+    }
+
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn recent_hit_ratio(&self) -> f64 {
+        self.recent.hit_ratio()
+    }
+
+    fn recent_misses(&self) -> f64 {
+        self.recent.misses()
     }
 
     fn clear(&mut self) {
@@ -241,6 +278,32 @@ mod tests {
     #[should_panic(expected = "capacity ≥ 2")]
     fn tiny_capacity_panics() {
         let _: SegmentedLruCache<u8, ()> = SegmentedLruCache::new(1, 0.5);
+    }
+
+    #[test]
+    fn resize_keeps_fraction_and_demotes_protected_tail() {
+        let mut c = SegmentedLruCache::new(8, 0.5); // 4 + 4
+        for k in 0..4 {
+            c.insert(k, ());
+            c.get(&k); // all protected
+        }
+        for k in 10..14 {
+            c.insert(k, ()); // fill probation
+        }
+        assert_eq!(c.len(), 8);
+        c.resize(4); // 2 protected + 2 probation
+        assert_eq!(c.capacity(), 4);
+        assert!(c.len() <= 4);
+        assert_eq!(c.protected_len(), 2);
+        // The protected MRU pair (2,3) stays protected; the demoted tail
+        // may still be resident in probation but never above it.
+        assert!(c.peek(&2) && c.peek(&3));
+        c.resize(12);
+        for k in 20..30 {
+            c.insert(k, ());
+        }
+        assert!(c.len() > 4, "grown capacity is usable");
+        assert!(c.len() <= 12);
     }
 
     proptest! {

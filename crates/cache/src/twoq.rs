@@ -5,7 +5,8 @@ use std::hash::BuildHasher;
 
 use shhc_types::FingerprintBuildHasher;
 
-use crate::{Cache, CacheKey, CacheStats, LruCache};
+use crate::stats::RECENT_HALF_LIFE;
+use crate::{Cache, CacheKey, CacheStats, LruCache, WindowedHitRate};
 
 /// 2Q: a FIFO admission queue (`A1in`), a ghost queue of recently evicted
 /// keys (`A1out`), and a main LRU (`Am`).
@@ -35,6 +36,7 @@ pub struct TwoQCache<K, V, S = FingerprintBuildHasher> {
     next_seq: u64,
     am: LruCache<K, V, S>,
     stats: CacheStats,
+    recent: WindowedHitRate,
 }
 
 impl<K: CacheKey, V> TwoQCache<K, V> {
@@ -70,6 +72,7 @@ impl<K: CacheKey, V, S: BuildHasher + Clone> TwoQCache<K, V, S> {
             next_seq: 0,
             am: LruCache::with_hasher(am_cap, hasher),
             stats: CacheStats::default(),
+            recent: WindowedHitRate::new(RECENT_HALF_LIFE),
         }
     }
 }
@@ -116,15 +119,18 @@ impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for TwoQCache<K, V, S> {
     fn get(&mut self, key: &K) -> Option<&V> {
         if self.am.peek(key) {
             self.stats.hits += 1;
+            self.recent.observe(true);
             return self.am.get(key);
         }
         // A1in hits do not reorder (it's a FIFO) and do not promote —
         // promotion only happens via the ghost list, per the paper.
         if self.a1in.peek(key) {
             self.stats.hits += 1;
+            self.recent.observe(true);
             return self.a1in.peek_value(key);
         }
         self.stats.misses += 1;
+        self.recent.observe(false);
         None
     }
 
@@ -172,8 +178,47 @@ impl<K: CacheKey, V, S: BuildHasher> Cache<K, V> for TwoQCache<K, V, S> {
         self.a1in.capacity() + self.am.capacity()
     }
 
+    fn resize(&mut self, capacity: usize) {
+        assert!(capacity >= 4, "2Q needs capacity ≥ 4");
+        let a1in_cap = (capacity / 4).max(1);
+        let am_cap = capacity - a1in_cap;
+        let before = self.len();
+        // Admission-FIFO overflow becomes ghosts, exactly as a normal
+        // capacity eviction would.
+        while self.a1in.len() > a1in_cap {
+            if let Some((k, _)) = self.a1in.pop_lru() {
+                self.ghost_insert(k);
+            }
+        }
+        self.a1in.resize(a1in_cap);
+        while self.am.len() > am_cap {
+            self.am.pop_lru();
+        }
+        self.am.resize(am_cap);
+        self.ghost_cap = (capacity / 2).max(1);
+        while self.a1out.len() > self.ghost_cap {
+            match self.ghost_fifo.pop_front() {
+                Some((k, s)) => {
+                    if self.a1out.get(&k) == Some(&s) {
+                        self.a1out.remove(&k);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.stats.evictions += (before - self.len()) as u64;
+    }
+
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn recent_hit_ratio(&self) -> f64 {
+        self.recent.hit_ratio()
+    }
+
+    fn recent_misses(&self) -> f64 {
+        self.recent.misses()
     }
 
     fn clear(&mut self) {
@@ -262,6 +307,29 @@ mod tests {
     #[should_panic(expected = "capacity ≥ 4")]
     fn tiny_capacity_panics() {
         let _: TwoQCache<u8, ()> = TwoQCache::new(2);
+    }
+
+    #[test]
+    fn resize_rebalances_queues() {
+        let mut c = TwoQCache::new(16); // a1in=4, am=12, ghost=8
+                                        // Populate Am via the ghost path.
+        for round in 0..3 {
+            for k in 0..8 {
+                c.insert(k, round);
+            }
+        }
+        assert!(c.am_len() > 0);
+        let before = c.len();
+        c.resize(8); // a1in=2, am=6, ghost=4
+        assert_eq!(c.capacity(), 8);
+        assert!(c.len() <= 8 && c.len() <= before);
+        assert!(c.ghost_len() <= 4);
+        c.resize(32);
+        for k in 100..140 {
+            c.insert(k, 0);
+        }
+        assert!(c.len() <= 32);
+        assert!(c.a1in_len() <= 8);
     }
 
     proptest! {

@@ -59,21 +59,24 @@ pub use cluster::{
     ClusterConfig, ClusterStats, DataPlane, RebalanceReport, RecoveryReport, ShhcCluster,
 };
 pub use frontend::{Frontend, SyncFrontend};
-pub use server::NodeSnapshot;
+pub use server::{AutotuneOptions, AutotuneReport, NodeSnapshot};
 pub use service::{BackupReport, BackupService, DeleteReport};
 pub use shared_frontend::{LookupAnswer, SharedFrontend};
 pub use simcluster::{SimCluster, SimClusterConfig, SimReport};
 
 // The ticket/stats types a SharedFrontend user needs, re-exported from
 // the net layer so `shhc` stays a single-dependency facade.
-pub use shhc_net::{SharedBatcherStats, Ticket};
+pub use shhc_net::{BatchTuner, SharedBatcherStats, Ticket, TunerConfig, TunerTick};
+
+// The self-tuning knobs `autotune` exposes.
+pub use shhc_cache::{SizerConfig, SizerDecision};
 
 // Re-export the substrate APIs a downstream user needs alongside the
 // cluster, so `shhc` works as a single-dependency facade.
 pub use shhc_flash::{Durability, FaultPlan, WalConfig};
 pub use shhc_node::{
-    BackendKind, CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats, ShardRouter,
-    ShardedNode,
+    load_imbalance, BackendKind, CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats,
+    ShardLoad, ShardRouter, ShardedNode,
 };
 pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Result, StreamId};
 

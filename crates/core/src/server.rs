@@ -24,21 +24,21 @@
 //! already resolves above the cluster (a redundant copy, never
 //! corruption).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use shhc_cache::CacheStats;
+use parking_lot::{Mutex, RwLock};
+use shhc_cache::{CacheSizer, CacheStats, SizerConfig, SizerDecision};
 use shhc_flash::{DeviceStats, FtlStats};
 use shhc_index::{AnyIndex, Collection, CollectionHandle};
 use shhc_net::{decode, encode_reusing, Frame};
 use shhc_node::{
-    merge_classified, Classified, HybridHashNode, NodeConfig, NodeStats, ShardRouter, SubBatch,
-    SubClassified,
+    load_imbalance, merge_classified, Classified, HybridHashNode, NodeConfig, NodeStats, ShardLoad,
+    ShardRouter, SubBatch, SubClassified,
 };
 use shhc_types::{Fingerprint, KeyRange, Nanos, NodeId};
 
@@ -64,6 +64,63 @@ pub struct NodeSnapshot {
     /// Reader-pool threads attached to this node (0 = no pool; queries
     /// are served by the owning server/worker threads).
     pub readers: u32,
+    /// Per-shard load shares (empty for single-threaded nodes) — the
+    /// hot-shard imbalance signal.
+    pub shard_loads: Vec<ShardLoad>,
+}
+
+impl NodeSnapshot {
+    /// Max/mean ratio of per-shard query loads; 1.0 when balanced or
+    /// unsharded. See [`load_imbalance`].
+    pub fn load_imbalance(&self) -> f64 {
+        load_imbalance(&self.shard_loads)
+    }
+}
+
+/// Knobs for one node-local self-tuning pass (see
+/// [`ShhcCluster::autotune`](crate::ShhcCluster::autotune)).
+#[derive(Debug, Clone, Copy)]
+pub struct AutotuneOptions {
+    /// Re-split the shard key ranges when the per-shard query imbalance
+    /// (max/mean) reaches this threshold. Only volatile sharded nodes
+    /// re-split; WAL-backed nodes skip it (restart replay rebuilds the
+    /// uniform router, which would mis-route the moved entries).
+    pub imbalance_threshold: f64,
+    /// Whether hot-shard re-splitting is attempted at all.
+    pub resplit: bool,
+    /// Whether RAM-cache capacity is shifted between shards by marginal
+    /// utility (recent misses per cache slot).
+    pub autosize_caches: bool,
+    /// Sizer knobs for the cache-capacity shift.
+    pub sizer: SizerConfig,
+}
+
+impl Default for AutotuneOptions {
+    fn default() -> Self {
+        AutotuneOptions {
+            imbalance_threshold: 1.5,
+            resplit: true,
+            autosize_caches: true,
+            sizer: SizerConfig::default(),
+        }
+    }
+}
+
+/// What one autotune pass observed and changed on one node.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// The node.
+    pub id: NodeId,
+    /// Intra-node shards.
+    pub shards: u32,
+    /// Per-shard query imbalance (max/mean) *before* any mitigation.
+    pub imbalance: f64,
+    /// Whether the shard ranges were re-split this pass.
+    pub resplit: bool,
+    /// Entries re-homed by the re-split.
+    pub moved_entries: u64,
+    /// Cache capacity shifted between shards, if any.
+    pub cache_shift: Option<SizerDecision>,
 }
 
 /// Control-plane commands (in-process only; not wire-encoded).
@@ -72,6 +129,7 @@ pub(crate) enum ControlMsg {
     Stats,
     Flush,
     Scan,
+    Autotune(AutotuneOptions),
     Shutdown,
 }
 
@@ -81,6 +139,7 @@ pub(crate) enum ControlReply {
     Stats(Box<NodeSnapshot>),
     Done,
     Scan(Vec<(Fingerprint, u64)>),
+    Autotune(Box<AutotuneReport>),
     Failed(String),
 }
 
@@ -106,12 +165,22 @@ pub(crate) fn snapshot_of(node: &HybridHashNode) -> NodeSnapshot {
         ftl: node.ftl_stats(),
         shards: 1,
         readers: 0,
+        shard_loads: Vec::new(),
     }
 }
 
 /// Aggregates per-shard snapshots into one node-level snapshot.
 fn merge_snapshots(parts: Vec<NodeSnapshot>) -> NodeSnapshot {
     let shards = parts.len() as u32;
+    // Each part is one shard's snapshot; its query share is the
+    // hot-shard signal the autotuner and callers read.
+    let shard_loads: Vec<ShardLoad> = parts
+        .iter()
+        .map(|p| ShardLoad {
+            queries: p.stats.ops() + p.stats.queries,
+            busy: p.stats.busy,
+        })
+        .collect();
     let stats: Vec<NodeStats> = parts.iter().map(|p| p.stats).collect();
     let cache: Vec<CacheStats> = parts.iter().map(|p| p.cache).collect();
     let device: Vec<DeviceStats> = parts.iter().map(|p| p.device).collect();
@@ -128,6 +197,7 @@ fn merge_snapshots(parts: Vec<NodeSnapshot>) -> NodeSnapshot {
         // Stats job fills this in (and folds the pool counters) after
         // merging.
         readers: 0,
+        shard_loads,
     }
 }
 
@@ -175,6 +245,18 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
                         Err(e) => ControlReply::Failed(e.to_string()),
                     };
                     let _ = reply.send(r);
+                }
+                ControlMsg::Autotune(_) => {
+                    // The single-threaded node has one shard and one
+                    // cache: nothing to re-split or shift.
+                    let _ = reply.send(ControlReply::Autotune(Box::new(AutotuneReport {
+                        id: node.id(),
+                        shards: 1,
+                        imbalance: 1.0,
+                        resplit: false,
+                        moved_entries: 0,
+                        cache_shift: None,
+                    })));
                 }
                 ControlMsg::Shutdown => {
                     // Clean shutdown: flush + close the WAL so restart
@@ -351,6 +433,19 @@ struct NodeShared {
     /// The reader pool, present only when the node's backend is
     /// concurrent and [`NodeConfig::readers`] `> 0`.
     pool: Option<PoolShared>,
+    /// The live shard router — read per frame by the dispatcher and the
+    /// pool readers, swapped by an autotune re-split.
+    router: RwLock<ShardRouter>,
+    /// In-flight frames (jobs plus queued pool tasks). The autotuner
+    /// drains this to zero before moving entries between shards: the
+    /// apply phase of a lookup fans out from whichever worker classified
+    /// last, so queue-FIFO alone cannot order a re-split after it.
+    outstanding: Arc<AtomicUsize>,
+    /// Cumulative per-shard loads as of the previous autotune pass.
+    /// Each pass tunes on the *delta* since the last one, so the hot-
+    /// shard signal tracks the current phase of a shifting workload
+    /// instead of averaging over all history.
+    tuned_loads: Mutex<Vec<ShardLoad>>,
 }
 
 /// The dispatcher's handle on the reader pool.
@@ -403,9 +498,9 @@ fn pool_reader(
     mirrors: Vec<AnyIndex<Fingerprint, u64>>,
     per_op_cost: Nanos,
     stats: Arc<PoolStats>,
+    shared: Arc<NodeShared>,
     rx: Receiver<PoolTask>,
 ) {
-    let router = ShardRouter::new(mirrors.len() as u32);
     let mut handles: Vec<_> = mirrors.iter().map(Collection::pin).collect();
     let mut scratch = BytesMut::new();
     while let Ok(task) = rx.recv() {
@@ -419,6 +514,10 @@ fn pool_reader(
             break;
         };
         sleep_service(delay);
+        // Re-read the router per frame: an autotune re-split re-homes
+        // entries between shard mirrors, and it only runs with zero
+        // frames outstanding — so this read always matches the mirrors.
+        let router = shared.router.read().clone();
         let mut exists = Vec::with_capacity(fps.len());
         let mut values = Vec::with_capacity(fps.len());
         for fp in &fps {
@@ -440,6 +539,7 @@ fn pool_reader(
             },
             &mut scratch,
         ));
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -449,6 +549,13 @@ enum ShardTask {
         job: Arc<FrameJob>,
         slot: usize,
         work: ShardWork,
+    },
+    /// Synchronous single-shard RPC, bypassing the job machinery — the
+    /// autotuner's building block (the dispatcher blocks on the reply
+    /// with the node quiesced, so ordering is trivial).
+    Direct {
+        work: ShardWork,
+        reply: Sender<ShardOutcome>,
     },
     /// Stop the worker. `clean` distinguishes an orderly node shutdown
     /// (flush + close the shard's WAL, so restart replays nothing) from
@@ -493,6 +600,14 @@ enum ShardWork {
     Scan,
     Flush,
     Stats,
+    /// Report `(cache capacity, recent cache misses)` — the autotune
+    /// sizer's marginal-utility input.
+    CacheProfile,
+    /// Retarget the shard's RAM cache capacity (clamped to the policy's
+    /// minimum by the node).
+    ResizeCache {
+        capacity: usize,
+    },
 }
 
 /// One shard's result for its slice of a frame.
@@ -513,6 +628,10 @@ enum ShardOutcome {
         pairs: Vec<(Fingerprint, u64)>,
     },
     Snapshot(Box<NodeSnapshot>),
+    Profile {
+        capacity: usize,
+        recent_misses: f64,
+    },
     Done,
     Failed(String),
 }
@@ -560,6 +679,10 @@ struct FrameJob {
     total: usize,
     reply: ReplyTo,
     shared: Arc<NodeShared>,
+    /// Set once the job's reply has been released, when the job leaves
+    /// the `outstanding` count (exactly-once guard: some finish paths
+    /// reach more than one send site).
+    released: AtomicBool,
     inner: Mutex<JobInner>,
 }
 
@@ -772,6 +895,7 @@ impl FrameJob {
                 if let (ReplyTo::Data(tx), Some(bytes)) = (&self.reply, inner.reply_bytes.take()) {
                     let _ = tx.send(bytes);
                 }
+                self.release();
             }
         }
     }
@@ -780,11 +904,20 @@ impl FrameJob {
         if let ReplyTo::Data(tx) = &self.reply {
             let _ = tx.send(encode_reusing(frame, scratch));
         }
+        self.release();
     }
 
     fn send_control(&self, reply: ControlReply) {
         if let ReplyTo::Control(tx) = &self.reply {
             let _ = tx.send(reply);
+        }
+        self.release();
+    }
+
+    /// Removes this job from the node's in-flight count, exactly once.
+    fn release(&self) {
+        if !self.released.swap(true, Ordering::AcqRel) {
+            self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
@@ -830,6 +963,13 @@ fn shard_worker(mut shard: HybridHashNode, rx: Receiver<ShardTask>) {
                     outcome = ShardOutcome::Failed(format!("wal commit failed: {e}"));
                 }
                 job.complete(slot, outcome, &mut scratch);
+            }
+            ShardTask::Direct { work, reply } => {
+                let mut outcome = run_shard_work(&mut shard, work);
+                if let Err(e) = shard.wal_commit() {
+                    outcome = ShardOutcome::Failed(format!("wal commit failed: {e}"));
+                }
+                let _ = reply.send(outcome);
             }
         }
     }
@@ -899,6 +1039,14 @@ fn run_shard_work(shard: &mut HybridHashNode, work: ShardWork) -> ShardOutcome {
             Err(e) => ShardOutcome::Failed(e.to_string()),
         },
         ShardWork::Stats => ShardOutcome::Snapshot(Box::new(snapshot_of(shard))),
+        ShardWork::CacheProfile => ShardOutcome::Profile {
+            capacity: shard.cache_capacity(),
+            recent_misses: shard.recent_cache_misses(),
+        },
+        ShardWork::ResizeCache { capacity } => {
+            shard.resize_cache(capacity);
+            ShardOutcome::Done
+        }
     }
 }
 
@@ -960,6 +1108,9 @@ pub(crate) fn sharded_node_loop(
         workers: worker_txs,
         next_value: AtomicU64::new(next_value),
         pool,
+        router: RwLock::new(router),
+        outstanding: Arc::new(AtomicUsize::new(0)),
+        tuned_loads: Mutex::new(Vec::new()),
     });
     let handles: Vec<JoinHandle<()>> = shards
         .into_iter()
@@ -979,11 +1130,12 @@ pub(crate) fn sharded_node_loop(
         for r in 0..pool.readers {
             let mirrors = mirrors.clone();
             let stats = Arc::clone(&pool.stats);
+            let shared = Arc::clone(&shared);
             let prx = prx.clone();
             reader_handles.push(
                 std::thread::Builder::new()
                     .name(format!("shhc-{node_id}-r{r}"))
-                    .spawn(move || pool_reader(mirrors, per_op_cost, stats, prx))
+                    .spawn(move || pool_reader(mirrors, per_op_cost, stats, shared, prx))
                     .expect("spawn pool reader"),
             );
         }
@@ -996,6 +1148,7 @@ pub(crate) fn sharded_node_loop(
     while let Ok(request) = rx.recv() {
         match request {
             NodeRequest::Data { frame, reply } => {
+                let router = shared.router.read().clone();
                 dispatch_data(&config, &router, &shared, &frame, reply, &mut scratch);
             }
             NodeRequest::Control { msg, reply } => match msg {
@@ -1007,6 +1160,13 @@ pub(crate) fn sharded_node_loop(
                 ControlMsg::Stats => broadcast_control(&shared, JobKind::Stats, reply),
                 ControlMsg::Flush => broadcast_control(&shared, JobKind::Flush, reply),
                 ControlMsg::Scan => broadcast_control(&shared, JobKind::Scan, reply),
+                ControlMsg::Autotune(opts) => {
+                    let r = match run_autotune(&config, &shared, node_id, opts) {
+                        Ok(report) => ControlReply::Autotune(Box::new(report)),
+                        Err(m) => ControlReply::Failed(m),
+                    };
+                    let _ = reply.send(r);
+                }
             },
         }
     }
@@ -1039,12 +1199,14 @@ fn new_job(
     shard_of_slot: Vec<usize>,
 ) -> Arc<FrameJob> {
     let slots = shard_of_slot.len();
+    shared.outstanding.fetch_add(1, Ordering::AcqRel);
     Arc::new(FrameJob {
         kind,
         correlation,
         total,
         reply,
         shared: Arc::clone(shared),
+        released: AtomicBool::new(false),
         inner: Mutex::new(JobInner {
             remaining: slots,
             slots: (0..slots).map(|_| None).collect(),
@@ -1134,6 +1296,7 @@ fn dispatch_data(
             // shard's mirror, so splitting would only add merge cost.
             if let Some(pool) = &shared.pool {
                 let delay = delay_for(0, fingerprints.len());
+                shared.outstanding.fetch_add(1, Ordering::AcqRel);
                 let _ = pool.tx.send(PoolTask::Query {
                     correlation,
                     fps: fingerprints,
@@ -1369,6 +1532,189 @@ fn broadcast_control(shared: &Arc<NodeShared>, kind: JobKind, reply: Sender<Cont
             work,
         });
     }
+}
+
+/// Synchronously runs one unit of work on one shard and returns its
+/// outcome, mapping `Failed` to `Err`.
+fn shard_direct(
+    shared: &NodeShared,
+    shard: usize,
+    work: ShardWork,
+) -> Result<ShardOutcome, String> {
+    let (tx, rx) = unbounded();
+    shared.workers[shard]
+        .send(ShardTask::Direct { work, reply: tx })
+        .map_err(|_| format!("shard {shard} worker is gone"))?;
+    match rx.recv() {
+        Ok(ShardOutcome::Failed(m)) => Err(m),
+        Ok(outcome) => Ok(outcome),
+        Err(_) => Err(format!("shard {shard} dropped its reply")),
+    }
+}
+
+/// One node-local self-tuning pass, run on the dispatcher thread with
+/// the node quiesced:
+///
+/// 1. **drain** — wait for every in-flight frame (including queued pool
+///    reads and lookup apply phases) to release its reply, so no worker
+///    touches shard state concurrently;
+/// 2. **hot-shard re-split** — read per-shard query loads; if the
+///    max/mean imbalance reaches the threshold, re-split the shard key
+///    ranges along the observed load CDF and re-home the entries whose
+///    shard changed (install on the target, then remove from the
+///    source), finally swapping the live router. Declined on WAL-backed
+///    nodes: restart replay rebuilds the uniform router and would
+///    mis-route the moved entries;
+/// 3. **cache autosizing** — shift RAM-cache capacity from the shard
+///    with the lowest recent misses-per-slot to the one with the
+///    highest.
+///
+/// Every step preserves the node's observable answers: entries only
+/// change *which worker owns them*, never their existence or value.
+fn run_autotune(
+    config: &NodeConfig,
+    shared: &NodeShared,
+    node_id: NodeId,
+    opts: AutotuneOptions,
+) -> Result<AutotuneReport, String> {
+    while shared.outstanding.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    let shards = shared.workers.len();
+    let mut loads = Vec::with_capacity(shards);
+    for s in 0..shards {
+        match shard_direct(shared, s, ShardWork::Stats)? {
+            ShardOutcome::Snapshot(snap) => loads.push(ShardLoad {
+                queries: snap.stats.ops() + snap.stats.queries,
+                busy: snap.stats.busy,
+            }),
+            _ => return Err("shard stats returned an unexpected outcome".into()),
+        }
+    }
+    // Tune on the window since the previous pass: against a workload
+    // whose hot set moves, cumulative counters would drown the current
+    // phase in stale history and re-split one phase behind.
+    let window: Vec<ShardLoad> = {
+        let mut last = shared.tuned_loads.lock();
+        let w = loads
+            .iter()
+            .enumerate()
+            .map(|(s, l)| {
+                let prev = last.get(s).copied().unwrap_or_default();
+                ShardLoad {
+                    queries: l.queries.saturating_sub(prev.queries),
+                    busy: Nanos::from(l.busy.as_nanos().saturating_sub(prev.busy.as_nanos())),
+                }
+            })
+            .collect();
+        *last = loads;
+        w
+    };
+    let imbalance = load_imbalance(&window);
+    let mut report = AutotuneReport {
+        id: node_id,
+        shards: shards as u32,
+        imbalance,
+        resplit: false,
+        moved_entries: 0,
+        cache_shift: None,
+    };
+    if opts.resplit
+        && shards > 1
+        && imbalance >= opts.imbalance_threshold
+        && !config.durability.is_durable()
+    {
+        let current = shared.router.read().clone();
+        let queries: Vec<u64> = window.iter().map(|l| l.queries).collect();
+        // Scan first: the stored keys both weight the re-split (so a hot
+        // set clustered inside one slice is cut *between* its keys in a
+        // single pass) and supply the entries to re-home.
+        let mut scans: Vec<Vec<(Fingerprint, u64)>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let ShardOutcome::Entries { pairs } = shard_direct(shared, s, ShardWork::Scan)? else {
+                return Err("shard scan returned an unexpected outcome".into());
+            };
+            scans.push(pairs);
+        }
+        let keys_by_shard: Vec<Vec<u64>> = scans
+            .iter()
+            .map(|pairs| pairs.iter().map(|(fp, _)| fp.route_key()).collect())
+            .collect();
+        let new_router = current.rebalanced_over_keys(&queries, &keys_by_shard);
+        if new_router != current {
+            let mut installs: Vec<Vec<(Fingerprint, u64)>> = vec![Vec::new(); shards];
+            let mut removes: Vec<Vec<Fingerprint>> = vec![Vec::new(); shards];
+            for (s, pairs) in scans.into_iter().enumerate() {
+                for (fp, value) in pairs {
+                    let t = new_router.shard_of(&fp);
+                    if t != s {
+                        installs[t].push((fp, value));
+                        removes[s].push(fp);
+                    }
+                }
+            }
+            let moved: u64 = removes.iter().map(|r| r.len() as u64).sum();
+            for (t, pairs) in installs.into_iter().enumerate() {
+                if !pairs.is_empty() {
+                    shard_direct(
+                        shared,
+                        t,
+                        ShardWork::Install {
+                            pairs,
+                            delay: Duration::ZERO,
+                        },
+                    )?;
+                }
+            }
+            for (s, fps) in removes.into_iter().enumerate() {
+                if !fps.is_empty() {
+                    shard_direct(
+                        shared,
+                        s,
+                        ShardWork::Remove {
+                            fps,
+                            delay: Duration::ZERO,
+                        },
+                    )?;
+                }
+            }
+            *shared.router.write() = new_router;
+            report.resplit = true;
+            report.moved_entries = moved;
+        }
+    }
+    if opts.autosize_caches && shards > 1 {
+        let mut profile = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let ShardOutcome::Profile {
+                capacity,
+                recent_misses,
+            } = shard_direct(shared, s, ShardWork::CacheProfile)?
+            else {
+                return Err("shard cache profile returned an unexpected outcome".into());
+            };
+            profile.push((capacity, recent_misses));
+        }
+        let sizer = CacheSizer::new(opts.sizer);
+        if let Some(d) = sizer.plan(&profile) {
+            shard_direct(
+                shared,
+                d.from,
+                ShardWork::ResizeCache {
+                    capacity: profile[d.from].0 - d.entries,
+                },
+            )?;
+            shard_direct(
+                shared,
+                d.to,
+                ShardWork::ResizeCache {
+                    capacity: profile[d.to].0 + d.entries,
+                },
+            )?;
+            report.cache_shift = Some(d);
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

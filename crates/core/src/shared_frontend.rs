@@ -18,7 +18,7 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use shhc_net::{ClosedBatch, SharedBatcher, SharedBatcherStats, Ticket};
+use shhc_net::{BatchTuner, ClosedBatch, SharedBatcher, SharedBatcherStats, Ticket, TunerConfig};
 use shhc_types::{Fingerprint, Result};
 
 use crate::ShhcCluster;
@@ -124,7 +124,45 @@ impl SharedFrontend {
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
+    ///
+    /// Setting `SHHC_TEST_ADAPTIVE=1` in the environment attaches a
+    /// default [`BatchTuner`] (as [`with_tuner`](Self::with_tuner)
+    /// would) — the CI lever that runs the whole existing suite with the
+    /// adaptive batcher enabled, pinning down that tuning never changes
+    /// answers.
     pub fn new(cluster: ShhcCluster, batch_size: usize, max_age: Duration) -> Self {
+        let tuner = match std::env::var("SHHC_TEST_ADAPTIVE") {
+            Ok(v) if v == "1" => Some(TunerConfig::default()),
+            _ => None,
+        };
+        Self::spawn_with(cluster, batch_size, max_age, tuner)
+    }
+
+    /// Creates a shared front-end whose batch limits are continuously
+    /// retuned by a [`BatchTuner`] with the given knobs. `batch_size`
+    /// and `max_age` are the starting point; the tuner adjusts both
+    /// within the config's bounds as the workload shifts. Tuning only
+    /// changes *when* batches close — answers stay byte-identical to a
+    /// static front-end fed the same submission sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_tuner(
+        cluster: ShhcCluster,
+        batch_size: usize,
+        max_age: Duration,
+        tuner: TunerConfig,
+    ) -> Self {
+        Self::spawn_with(cluster, batch_size, max_age, Some(tuner))
+    }
+
+    fn spawn_with(
+        cluster: ShhcCluster,
+        batch_size: usize,
+        max_age: Duration,
+        tuner: Option<TunerConfig>,
+    ) -> Self {
         let (wake_tx, wake_rx) = unbounded();
         let inner = Arc::new(FrontendInner {
             cluster,
@@ -132,9 +170,10 @@ impl SharedFrontend {
             wake_tx,
         });
         let weak = Arc::downgrade(&inner);
+        let tuner = tuner.map(BatchTuner::new);
         std::thread::Builder::new()
             .name("shhc-fe-flusher".into())
-            .spawn(move || flusher_loop(weak, wake_rx, max_age))
+            .spawn(move || flusher_loop(weak, wake_rx, tuner))
             .expect("spawn front-end flusher thread");
         SharedFrontend { inner }
     }
@@ -199,21 +238,33 @@ impl SharedFrontend {
 }
 
 /// The background flusher: sleeps toward the pending batch's age
-/// deadline, releases it when due, and dispatches it. Exits when every
-/// front-end handle is gone (the wake channel disconnects).
-fn flusher_loop(weak: Weak<FrontendInner>, wake_rx: Receiver<()>, max_age: Duration) {
-    // With an empty queue there is no deadline; sleeping half the age
-    // limit bounds a just-missed submission's extra wait to max_age/2
-    // (the wake channel normally cuts that to ~zero).
-    let idle_tick = (max_age / 2).clamp(MIN_TICK, Duration::from_millis(500));
+/// deadline, releases it when due, and dispatches it. With a tuner
+/// attached it also ticks the controller, which retunes the batcher's
+/// close limits in place. Exits when every front-end handle is gone
+/// (the wake channel disconnects).
+fn flusher_loop(weak: Weak<FrontendInner>, wake_rx: Receiver<()>, mut tuner: Option<BatchTuner>) {
     loop {
         let sleep = match weak.upgrade() {
-            Some(inner) => match inner.batcher.next_deadline() {
-                Some(deadline) => deadline
-                    .saturating_duration_since(Instant::now())
-                    .max(MIN_TICK),
-                None => idle_tick,
-            },
+            Some(inner) => {
+                if let Some(t) = tuner.as_mut() {
+                    // The tuner is internally rate-limited; ticking on
+                    // every pass keeps it current without a second timer.
+                    t.tick(&inner.batcher);
+                }
+                match inner.batcher.next_deadline() {
+                    Some(deadline) => deadline
+                        .saturating_duration_since(Instant::now())
+                        .max(MIN_TICK),
+                    // With an empty queue there is no deadline; sleeping
+                    // half the age limit bounds a just-missed
+                    // submission's extra wait to max_age/2 (the wake
+                    // channel normally cuts that to ~zero). Re-read the
+                    // limit each pass — the tuner may have moved it.
+                    None => {
+                        (inner.batcher.max_age() / 2).clamp(MIN_TICK, Duration::from_millis(500))
+                    }
+                }
+            }
             // Every handle is gone; nothing can ever be submitted again.
             None => return,
         };

@@ -1,0 +1,302 @@
+//! Closed-loop controller for [`SharedBatcher`] close limits.
+//!
+//! The static size/age limits PR 3 introduced are tuned for uniform
+//! SHA-1 traffic. When the offered load or its skew shifts, a fixed
+//! configuration either closes batches too small (wasting the per-batch
+//! round-trip overhead) or lets fingerprints queue too long (blowing the
+//! latency tail). [`BatchTuner`] watches the batcher's own counters —
+//! close-reason mix, windowed occupancy, and the
+//! [`delay_quantile`](crate::SharedBatcherStats::delay_quantile) tail —
+//! and retunes the limits AIMD-style via
+//! [`set_limits`](SharedBatcher::set_limits):
+//!
+//! - **tail too high** (window p99 above target): multiplicative
+//!   decrease of both limits — close earlier, smaller;
+//! - **size-dominated closes** with the tail under target: additive
+//!   increase of the size limit — the stream is dense, bigger batches
+//!   amortize the round-trip for free;
+//! - **age-dominated closes** with the tail far under target: grow the
+//!   age limit toward the target — a sparse stream may wait longer to
+//!   aggregate more.
+//!
+//! The controller only changes *when* batches close, never their content
+//! or ticket wiring, so answers are byte-identical to an untuned
+//! front-end (the equivalence the tier-1 suite pins down).
+
+use std::time::{Duration, Instant};
+
+use crate::SharedBatcher;
+
+/// Control knobs and actuation bounds for [`BatchTuner`].
+#[derive(Debug, Clone, Copy)]
+pub struct TunerConfig {
+    /// Lower bound on the size limit.
+    pub min_size: usize,
+    /// Upper bound on the size limit.
+    pub max_size: usize,
+    /// Lower bound on the age limit.
+    pub min_age: Duration,
+    /// Upper bound on the age limit.
+    pub max_age: Duration,
+    /// Target p99 queueing delay; the controller keeps the observed tail
+    /// at or under this.
+    pub target_delay: Duration,
+    /// Minimum time between adjustments (a tick inside the interval is a
+    /// no-op). Zero means every tick may adjust — handy in tests.
+    pub interval: Duration,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            min_size: 4,
+            max_size: 4096,
+            min_age: Duration::from_micros(100),
+            max_age: Duration::from_millis(100),
+            target_delay: Duration::from_millis(10),
+            interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What one [`BatchTuner::tick`] observed and decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunerTick {
+    /// Batches released since the previous adjustment.
+    pub window_batches: u64,
+    /// p99 queueing delay over the window's samples (falls back to the
+    /// window mean when the sample buffer saturated).
+    pub window_p99: Option<Duration>,
+    /// Size limit after this tick.
+    pub size: usize,
+    /// Age limit after this tick.
+    pub age: Duration,
+    /// Whether the limits changed.
+    pub adjusted: bool,
+}
+
+/// Snapshot of the counters the windowed deltas are computed against.
+#[derive(Debug, Clone, Copy, Default)]
+struct Baseline {
+    batches: u64,
+    closed_by_size: u64,
+    closed_by_age: u64,
+    delay_count: u64,
+    delay_total_ns: u128,
+    samples_seen: usize,
+}
+
+/// AIMD controller over a [`SharedBatcher`]'s close limits (see the
+/// [module docs](self) for the policy).
+///
+/// The tuner is driven from whatever thread already owns the batcher's
+/// timing — in `shhc` core, the front-end's flusher loop — by calling
+/// [`tick`](BatchTuner::tick) periodically. It keeps only counter
+/// baselines between ticks; the batcher remains the single source of
+/// truth.
+#[derive(Debug)]
+pub struct BatchTuner {
+    config: TunerConfig,
+    baseline: Baseline,
+    last_adjust: Option<Instant>,
+}
+
+impl BatchTuner {
+    /// Creates a tuner with the given knobs.
+    pub fn new(config: TunerConfig) -> Self {
+        BatchTuner {
+            config,
+            baseline: Baseline::default(),
+            last_adjust: None,
+        }
+    }
+
+    /// The tuner's knobs.
+    pub fn config(&self) -> &TunerConfig {
+        &self.config
+    }
+
+    /// Observes the batcher and, at most once per
+    /// [`interval`](TunerConfig::interval), retunes its limits. Returns
+    /// `None` when inside the interval or when the window saw no
+    /// batches (nothing to learn from an idle front-end).
+    pub fn tick<V>(&mut self, batcher: &SharedBatcher<V>) -> Option<TunerTick> {
+        let now = Instant::now();
+        if let Some(last) = self.last_adjust {
+            if now.duration_since(last) < self.config.interval {
+                return None;
+            }
+        }
+        let stats = batcher.stats();
+        let window_batches = stats.batches - self.baseline.batches;
+        if window_batches == 0 {
+            // Idle window: re-arm the interval so a burst after idling
+            // is measured over its own window, not the idle gap.
+            self.last_adjust = Some(now);
+            return None;
+        }
+        let size_closes = stats.closed_by_size - self.baseline.closed_by_size;
+        let age_closes = stats.closed_by_age - self.baseline.closed_by_age;
+        // Tail over this window's fresh samples; once the bounded sample
+        // buffer saturates, fall back to the window's mean delay.
+        let fresh =
+            &stats.delay_samples_ns[self.baseline.samples_seen.min(stats.delay_samples_ns.len())..];
+        let window_p99 = if fresh.is_empty() {
+            let count = stats.delay_count - self.baseline.delay_count;
+            if count == 0 {
+                None
+            } else {
+                let total = stats.delay_total_ns - self.baseline.delay_total_ns;
+                Some(Duration::from_nanos((total / u128::from(count)) as u64))
+            }
+        } else {
+            let mut sorted = fresh.to_vec();
+            sorted.sort_unstable();
+            let rank = ((sorted.len() - 1) as f64 * 0.99).round() as usize;
+            Some(Duration::from_nanos(sorted[rank]))
+        };
+
+        let mut size = batcher.max_size();
+        let mut age = batcher.max_age();
+        let (old_size, old_age) = (size, age);
+        if let Some(p99) = window_p99 {
+            if p99 > self.config.target_delay {
+                // Multiplicative decrease: the tail blew the target —
+                // close batches earlier and smaller.
+                size = (size / 2).max(self.config.min_size);
+                age = (age / 2).max(self.config.min_age);
+            } else if size_closes >= age_closes {
+                // Dense stream, healthy tail: additive increase of the
+                // size limit to amortize more per round-trip.
+                let step = (size / 8).max(1);
+                size = (size + step).min(self.config.max_size);
+            } else if p99 * 2 < self.config.target_delay {
+                // Sparse stream closing on age with lots of headroom:
+                // wait longer to aggregate more.
+                age = (age + age / 2)
+                    .min(self.config.max_age)
+                    .min(self.config.target_delay);
+            }
+        }
+
+        let adjusted = size != old_size || age != old_age;
+        if adjusted {
+            batcher.set_limits(size, age);
+        }
+        self.baseline = Baseline {
+            batches: stats.batches,
+            closed_by_size: stats.closed_by_size,
+            closed_by_age: stats.closed_by_age,
+            delay_count: stats.delay_count,
+            delay_total_ns: stats.delay_total_ns,
+            samples_seen: stats.delay_samples_ns.len(),
+        };
+        self.last_adjust = Some(now);
+        Some(TunerTick {
+            window_batches,
+            window_p99,
+            size,
+            age,
+            adjusted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shhc_types::Fingerprint;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint::from_u64(v)
+    }
+
+    fn tuner(target: Duration) -> BatchTuner {
+        BatchTuner::new(TunerConfig {
+            min_size: 2,
+            max_size: 64,
+            min_age: Duration::from_micros(100),
+            max_age: Duration::from_millis(50),
+            target_delay: target,
+            interval: Duration::ZERO,
+        })
+    }
+
+    fn drain(batcher: &SharedBatcher<u64>, n: u64, size: usize) {
+        let mut open: Vec<crate::Ticket<u64>> = Vec::new();
+        for i in 0..n {
+            let s = batcher.submit(fp(i));
+            open.push(s.ticket);
+            if let Some(b) = s.closed {
+                let answers = vec![0; b.len()];
+                b.complete(answers).unwrap();
+            }
+        }
+        let _ = size;
+        if let Some(b) = batcher.flush() {
+            let answers = vec![0; b.len()];
+            b.complete(answers).unwrap();
+        }
+        for t in open {
+            let _ = t.wait();
+        }
+    }
+
+    #[test]
+    fn idle_window_is_a_noop() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(8, Duration::from_millis(5));
+        let mut t = tuner(Duration::from_millis(10));
+        assert!(t.tick(&b).is_none());
+        assert_eq!(b.max_size(), 8);
+    }
+
+    #[test]
+    fn dense_stream_grows_size_limit() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(8, Duration::from_millis(50));
+        // Generous target: sub-millisecond in-process delays never trip it.
+        let mut t = tuner(Duration::from_secs(1));
+        drain(&b, 64, 8); // all size closes, tiny delays
+        let tick = t.tick(&b).expect("active window");
+        assert!(tick.adjusted);
+        assert!(tick.size > 8, "size limit should grow, got {}", tick.size);
+        assert_eq!(b.max_size(), tick.size);
+        // Repeated healthy windows keep growing up to the cap.
+        for _ in 0..40 {
+            drain(&b, 256, 0);
+            t.tick(&b);
+        }
+        assert_eq!(b.max_size(), 64, "capped at max_size");
+    }
+
+    #[test]
+    fn blown_tail_shrinks_both_limits() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(32, Duration::from_millis(50));
+        // Impossible target: every observed delay exceeds it.
+        let mut t = tuner(Duration::ZERO);
+        drain(&b, 64, 32);
+        let tick = t.tick(&b).expect("active window");
+        assert!(tick.adjusted);
+        assert!(tick.size < 32, "size should halve, got {}", tick.size);
+        assert!(tick.age < Duration::from_millis(50));
+        // Floors hold under sustained pressure.
+        for _ in 0..20 {
+            drain(&b, 64, 0);
+            t.tick(&b);
+        }
+        assert_eq!(b.max_size(), 2);
+        assert_eq!(b.max_age(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn interval_rate_limits_adjustments() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(8, Duration::from_millis(50));
+        let mut t = BatchTuner::new(TunerConfig {
+            interval: Duration::from_secs(3600),
+            ..TunerConfig::default()
+        });
+        drain(&b, 64, 8);
+        assert!(t.tick(&b).is_some(), "first tick adjusts");
+        drain(&b, 64, 8);
+        assert!(t.tick(&b).is_none(), "second tick inside the interval");
+    }
+}

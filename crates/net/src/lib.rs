@@ -18,7 +18,11 @@
 //!   aggregator behind the paper's Figure-4 request flow: submissions
 //!   from any client thread join one shared queue and receive a blocking
 //!   completion ticket; one cluster round-trip answers a whole batch
-//!   through index-mapped demux.
+//!   through index-mapped demux,
+//! - [`BatchTuner`] — an AIMD controller that retunes a live
+//!   [`SharedBatcher`]'s close limits from its own counters (close-reason
+//!   mix, occupancy, p99 queueing delay), keeping throughput near the
+//!   hand-tuned optimum when the workload shifts.
 //!
 //! # Examples
 //!
@@ -38,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod batch;
 mod model;
 mod shared;
 mod transport;
 mod wire;
 
+pub use adaptive::{BatchTuner, TunerConfig, TunerTick};
 pub use batch::{Batch, Batcher};
 pub use model::NetModel;
 pub use shared::{CloseReason, ClosedBatch, SharedBatcher, SharedBatcherStats, Submitted, Ticket};

@@ -41,6 +41,7 @@
 //! assert!(second.ticket.wait().unwrap());
 //! ```
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -375,6 +376,17 @@ impl SharedBatcherStats {
         let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         Some(Duration::from_nanos(sorted[rank]))
     }
+
+    /// The 99th-percentile queueing delay, or `None` with no samples —
+    /// the tail the adaptive batch controller steers against.
+    pub fn p99(&self) -> Option<Duration> {
+        self.delay_quantile(0.99)
+    }
+
+    /// The 99.9th-percentile queueing delay, or `None` with no samples.
+    pub fn p999(&self) -> Option<Duration> {
+        self.delay_quantile(0.999)
+    }
 }
 
 /// Inner queue state, under one mutex.
@@ -392,10 +404,16 @@ struct State<V> {
 /// which a timer thread calls), or on [`flush`](SharedBatcher::flush).
 /// Arrival order is preserved globally, hence also within each session.
 ///
+/// The size and age limits are atomics so a controller (see
+/// [`BatchTuner`](crate::BatchTuner)) can retune a live front-end via
+/// [`set_limits`](SharedBatcher::set_limits) without pausing submitters:
+/// limits only decide *when* batches close, never what they contain or
+/// how tickets resolve, so a mid-stream change is always answer-safe.
+///
 /// See the [module docs](self) for the full protocol and an example.
 pub struct SharedBatcher<V> {
-    max_size: usize,
-    max_age: Duration,
+    max_size: AtomicUsize,
+    max_age_ns: AtomicU64,
     state: Mutex<State<V>>,
 }
 
@@ -408,14 +426,33 @@ impl<V> SharedBatcher<V> {
     pub fn new(max_size: usize, max_age: Duration) -> Self {
         assert!(max_size > 0, "batch size must be nonzero");
         SharedBatcher {
-            max_size,
-            max_age,
+            max_size: AtomicUsize::new(max_size),
+            max_age_ns: AtomicU64::new(Self::age_ns(max_age)),
             state: Mutex::new(State {
                 pending: Vec::new(),
                 opened_at: Instant::now(),
                 stats: StatsAccum::default(),
             }),
         }
+    }
+
+    fn age_ns(age: Duration) -> u64 {
+        age.as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Replaces both close limits atomically-enough for control use: the
+    /// next submit/poll observes the new values. The pending queue is
+    /// untouched — if the new size limit is already met, the next
+    /// submission closes the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn set_limits(&self, max_size: usize, max_age: Duration) {
+        assert!(max_size > 0, "batch size must be nonzero");
+        self.max_size.store(max_size, Ordering::Relaxed);
+        self.max_age_ns
+            .store(Self::age_ns(max_age), Ordering::Relaxed);
     }
 
     /// Appends a fingerprint to the shared queue, returning its
@@ -437,9 +474,9 @@ impl<V> SharedBatcher<V> {
             slot: AnswerSlot { cell: Some(cell) },
             submitted_at: now,
         });
-        let closed = if state.pending.len() >= self.max_size {
+        let closed = if state.pending.len() >= self.max_size.load(Ordering::Relaxed) {
             Some(Self::close(&mut state, now, CloseReason::Size))
-        } else if now.duration_since(state.opened_at) >= self.max_age {
+        } else if now.duration_since(state.opened_at) >= self.max_age() {
             Some(Self::close(&mut state, now, CloseReason::Age))
         } else {
             None
@@ -458,7 +495,7 @@ impl<V> SharedBatcher<V> {
     pub fn poll(&self) -> Option<ClosedBatch<V>> {
         let now = Instant::now();
         let mut state = self.state.lock();
-        if !state.pending.is_empty() && now.duration_since(state.opened_at) >= self.max_age {
+        if !state.pending.is_empty() && now.duration_since(state.opened_at) >= self.max_age() {
             Some(Self::close(&mut state, now, CloseReason::Age))
         } else {
             None
@@ -483,7 +520,7 @@ impl<V> SharedBatcher<V> {
         if state.pending.is_empty() {
             None
         } else {
-            Some(state.opened_at + self.max_age)
+            Some(state.opened_at + self.max_age())
         }
     }
 
@@ -528,14 +565,14 @@ impl<V> SharedBatcher<V> {
         self.state.lock().pending.len()
     }
 
-    /// The configured maximum batch size.
+    /// The current maximum batch size.
     pub fn max_size(&self) -> usize {
-        self.max_size
+        self.max_size.load(Ordering::Relaxed)
     }
 
-    /// The configured maximum batch age.
+    /// The current maximum batch age.
     pub fn max_age(&self) -> Duration {
-        self.max_age
+        Duration::from_nanos(self.max_age_ns.load(Ordering::Relaxed))
     }
 
     /// Snapshots the aggregation counters and delay distribution.
@@ -561,8 +598,8 @@ impl<V> SharedBatcher<V> {
 impl<V> std::fmt::Debug for SharedBatcher<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedBatcher")
-            .field("max_size", &self.max_size)
-            .field("max_age", &self.max_age)
+            .field("max_size", &self.max_size())
+            .field("max_age", &self.max_age())
             .field("pending", &self.pending_len())
             .finish()
     }
@@ -774,6 +811,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn delay_quantile_edge_cases() {
+        // Empty window: every quantile (and the p99/p999 shorthands) is None.
+        let empty = SharedBatcherStats::default();
+        assert_eq!(empty.delay_quantile(0.0), None);
+        assert_eq!(empty.delay_quantile(0.99), None);
+        assert_eq!(empty.p99(), None);
+        assert_eq!(empty.p999(), None);
+        // Single sample: every quantile is that sample, including
+        // out-of-range q (clamped).
+        let one = SharedBatcherStats {
+            delay_samples_ns: vec![1234],
+            delay_count: 1,
+            ..Default::default()
+        };
+        for q in [-1.0, 0.0, 0.5, 0.99, 0.999, 1.0, 7.0] {
+            assert_eq!(one.delay_quantile(q), Some(Duration::from_nanos(1234)));
+        }
+        assert_eq!(one.p99(), Some(Duration::from_nanos(1234)));
+        assert_eq!(one.p999(), Some(Duration::from_nanos(1234)));
+        // Known distribution: p99/p999 pick the tail, not the median.
+        let many = SharedBatcherStats {
+            delay_samples_ns: (1..=1000).collect(),
+            delay_count: 1000,
+            ..Default::default()
+        };
+        assert_eq!(many.p99(), Some(Duration::from_nanos(990)));
+        assert_eq!(many.p999(), Some(Duration::from_nanos(999)));
+        assert_eq!(many.delay_quantile(0.0), Some(Duration::from_nanos(1)));
+        assert_eq!(many.delay_quantile(1.0), Some(Duration::from_nanos(1000)));
+    }
+
+    #[test]
+    fn set_limits_retunes_live() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(100, Duration::from_secs(60));
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        assert!(s2.closed.is_none(), "far from the old size limit");
+        // Tighten the size limit below the current occupancy: the queue
+        // is untouched, the *next* submission closes.
+        b.set_limits(2, Duration::from_secs(60));
+        assert_eq!(b.max_size(), 2);
+        assert_eq!(b.pending_len(), 2);
+        let s3 = b.submit(fp(3));
+        let batch = s3.closed.expect("new limit applies");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.reason(), CloseReason::Size);
+        batch.complete(vec![1, 2, 3]).unwrap();
+        assert_eq!(s1.ticket.wait().unwrap(), 1);
+        assert_eq!(s2.ticket.wait().unwrap(), 2);
+        // Age limit changes show up in poll() and next_deadline().
+        let s4 = b.submit(fp(4));
+        b.set_limits(100, Duration::ZERO);
+        assert_eq!(b.max_age(), Duration::ZERO);
+        let batch = b.poll().expect("zero age limit is immediately stale");
+        assert_eq!(batch.reason(), CloseReason::Age);
+        batch.complete(vec![4]).unwrap();
+        assert_eq!(s4.ticket.wait().unwrap(), 4);
     }
 
     #[test]

@@ -473,6 +473,40 @@ impl NodeCache {
             NodeCache::TwoQ(c) => c.stats(),
         }
     }
+
+    fn capacity(&self) -> usize {
+        match self {
+            NodeCache::Lru(c) => c.capacity(),
+            NodeCache::Slru(c) => c.capacity(),
+            NodeCache::TwoQ(c) => c.capacity(),
+        }
+    }
+
+    /// Resizes online, clamping to the policy's minimum capacity (the
+    /// same clamps [`NodeCache::new`] applies).
+    fn resize(&mut self, capacity: usize) {
+        match self {
+            NodeCache::Lru(c) => c.resize(capacity.max(1)),
+            NodeCache::Slru(c) => c.resize(capacity.max(2)),
+            NodeCache::TwoQ(c) => c.resize(capacity.max(4)),
+        }
+    }
+
+    fn recent_hit_ratio(&self) -> f64 {
+        match self {
+            NodeCache::Lru(c) => c.recent_hit_ratio(),
+            NodeCache::Slru(c) => c.recent_hit_ratio(),
+            NodeCache::TwoQ(c) => c.recent_hit_ratio(),
+        }
+    }
+
+    fn recent_misses(&self) -> f64 {
+        match self {
+            NodeCache::Lru(c) => c.recent_misses(),
+            NodeCache::Slru(c) => c.recent_misses(),
+            NodeCache::TwoQ(c) => c.recent_misses(),
+        }
+    }
 }
 
 impl HybridHashNode {
@@ -574,6 +608,31 @@ impl HybridHashNode {
     /// RAM cache counters.
     pub fn cache_stats(&self) -> shhc_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Current RAM cache capacity (may differ from the configured one
+    /// after [`HybridHashNode::resize_cache`]).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Resizes the RAM cache online (clamped to the policy minimum).
+    /// Purely a performance dial: a shrink evicts in policy order, which
+    /// can only turn future hits into SSD hits — never change an answer.
+    pub fn resize_cache(&mut self, capacity: usize) {
+        self.cache.resize(capacity);
+    }
+
+    /// Exponentially decayed recent cache hit ratio — the autosizer's
+    /// freshness-weighted view of [`HybridHashNode::cache_stats`].
+    pub fn recent_cache_hit_ratio(&self) -> f64 {
+        self.cache.recent_hit_ratio()
+    }
+
+    /// Exponentially decayed recent cache miss count (the
+    /// marginal-utility demand signal).
+    pub fn recent_cache_misses(&self) -> f64 {
+        self.cache.recent_misses()
     }
 
     /// Flash device counters (for energy accounting).

@@ -46,7 +46,8 @@ pub use hybrid::{
 };
 // The backend selector is part of `NodeConfig`'s public surface.
 pub use sharded::{
-    merge_classified, MergedLookup, ShardRouter, ShardedNode, SubBatch, SubClassified,
+    load_imbalance, merge_classified, MergedLookup, ShardLoad, ShardRouter, ShardedNode, SubBatch,
+    SubClassified,
 };
 // The durability mode is part of `NodeConfig`'s public surface.
 pub use shhc_flash::{Durability, FaultPlan, WalConfig};

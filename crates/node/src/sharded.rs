@@ -29,7 +29,7 @@
 //! to a [`HybridHashNode`]); the cluster server runs step 1 and 3 on a
 //! per-shard worker pool, one core per shard.
 
-use shhc_cache::CacheStats;
+use shhc_cache::{CacheSizer, CacheStats, SizerDecision};
 use shhc_flash::{DeviceStats, FtlStats};
 use shhc_types::{Fingerprint, FpHashMap, KeyRange, Nanos, NodeId, Result};
 
@@ -37,9 +37,15 @@ use crate::hybrid::{BatchResult, Classified, HybridHashNode, LookupResult, NodeC
 
 /// Routes fingerprints to intra-node shards by routing-key prefix.
 ///
-/// Shard `s` of `S` owns the contiguous routing-key slice
-/// `[s·2⁶⁴/S, (s+1)·2⁶⁴/S)`, so the shard index is monotone in the
-/// routing key and the shards partition the fingerprint space exactly.
+/// Each shard owns one contiguous routing-key slice. The uniform router
+/// ([`ShardRouter::new`]) gives shard `s` of `S` the slice
+/// `[s·2⁶⁴/S, (s+1)·2⁶⁴/S)`; a *rebalanced* router
+/// ([`ShardRouter::rebalanced`]) keeps the same number of shards but
+/// moves the slice boundaries so observed load splits evenly — the
+/// hot-shard mitigation narrows the overloaded prefix instead of
+/// re-sharding the whole node. Either way the shard index is monotone in
+/// the routing key and the shards partition the fingerprint space
+/// exactly.
 ///
 /// # Examples
 ///
@@ -52,29 +58,170 @@ use crate::hybrid::{BatchResult, Classified, HybridHashNode, LookupResult, NodeC
 /// assert_eq!(router.shard_of(&Fingerprint::from_u64(u64::MAX / 2)), 1);
 /// assert_eq!(router.shard_of(&Fingerprint::from_u64(u64::MAX / 2 + 1)), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRouter {
-    shards: u32,
+    /// Lower routing-key bound of each shard's slice: `bounds[0] == 0`,
+    /// strictly ascending; shard `s` owns `[bounds[s], bounds[s+1])`
+    /// (the last shard is open-ended).
+    bounds: std::sync::Arc<[u64]>,
 }
 
 impl ShardRouter {
-    /// A router over `shards` slices (clamped to at least 1).
+    /// A uniform router over `shards` equal slices (clamped to ≥ 1) —
+    /// shard `k` starts at `⌈k·2⁶⁴/S⌉`, matching the fixed-point product
+    /// routing `⌊route_key · S / 2⁶⁴⌋` exactly.
     pub fn new(shards: u32) -> Self {
+        let s = u128::from(shards.max(1));
+        let bounds: Vec<u64> = (0..s).map(|k| ((k << 64).div_ceil(s)) as u64).collect();
         ShardRouter {
-            shards: shards.max(1),
+            bounds: bounds.into(),
+        }
+    }
+
+    /// A router with explicit slice boundaries: `bounds[s]` is shard
+    /// `s`'s first routing key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, does not start at 0, or is not
+    /// strictly ascending.
+    pub fn from_bounds(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "router needs at least one shard");
+        assert_eq!(bounds[0], 0, "shard 0 must start at routing key 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "shard bounds must be strictly ascending"
+        );
+        ShardRouter {
+            bounds: bounds.into(),
         }
     }
 
     /// Number of shards.
     pub fn count(&self) -> usize {
-        self.shards as usize
+        self.bounds.len()
     }
 
-    /// The shard owning `fp` — the fixed-point product
-    /// `⌊route_key · S / 2⁶⁴⌋`, i.e. the index of the contiguous
-    /// routing-key slice the fingerprint's prefix falls in.
+    /// The shard slice boundaries (see [`ShardRouter::from_bounds`]).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// The shard owning `fp`: the index of the contiguous routing-key
+    /// slice the fingerprint's prefix falls in (binary search over the
+    /// slice boundaries).
     pub fn shard_of(&self, fp: &Fingerprint) -> usize {
-        ((u128::from(fp.route_key()) * u128::from(self.shards)) >> 64) as usize
+        let key = fp.route_key();
+        self.bounds.partition_point(|&b| b <= key) - 1
+    }
+
+    /// A router with the same shard count whose boundaries split the
+    /// *observed* per-shard load evenly, assuming load is uniform within
+    /// each current slice (piecewise-linear interpolation of the load
+    /// CDF). A shard carrying most of the load ends up with a
+    /// proportionally narrower slice; an all-zero load vector returns
+    /// the router unchanged.
+    pub fn rebalanced(&self, loads: &[u64]) -> ShardRouter {
+        let s = self.count();
+        assert_eq!(loads.len(), s, "one load sample per shard");
+        let total: u128 = loads.iter().map(|&l| u128::from(l)).sum();
+        if total == 0 || s == 1 {
+            return self.clone();
+        }
+        const SPAN_END: u128 = 1 << 64;
+        let mut bounds: Vec<u64> = Vec::with_capacity(s);
+        bounds.push(0);
+        let mut cum: u128 = 0; // load below segment `seg`
+        let mut seg = 0usize;
+        for k in 1..s {
+            let target = total * k as u128 / s as u128;
+            while cum + u128::from(loads[seg]) < target {
+                cum += u128::from(loads[seg]);
+                seg += 1;
+            }
+            let lo = u128::from(self.bounds[seg]);
+            let hi = if seg + 1 < s {
+                u128::from(self.bounds[seg + 1])
+            } else {
+                SPAN_END
+            };
+            let seg_load = u128::from(loads[seg]);
+            let key = ((hi - lo) * (target - cum))
+                .checked_div(seg_load)
+                .map_or(lo, |offset| lo + offset);
+            // Keep the bounds strictly ascending even when several
+            // targets collapse into one narrow hot slice.
+            let prev = u128::from(*bounds.last().expect("bounds start at 0"));
+            bounds.push(key.max(prev + 1).min(SPAN_END - 1) as u64);
+        }
+        ShardRouter::from_bounds(bounds)
+    }
+
+    /// Like [`rebalanced`](Self::rebalanced), but models each shard's
+    /// load as point masses on its *actual stored routing keys* instead
+    /// of spreading it uniformly over the slice. This is the form the
+    /// autotuner uses once it holds the shard scans: a hot set clustered
+    /// at the very bottom of one slice gets boundaries placed *between*
+    /// its keys in a single pass, where the uniform model would need
+    /// many narrowing rounds to reach them.
+    ///
+    /// `keys_by_shard[s]` are shard `s`'s stored routing keys (order
+    /// irrelevant). Shards with no load or no keys contribute nothing;
+    /// if every shard is empty the router is returned unchanged.
+    pub fn rebalanced_over_keys(&self, loads: &[u64], keys_by_shard: &[Vec<u64>]) -> ShardRouter {
+        let s = self.count();
+        assert_eq!(loads.len(), s, "one load sample per shard");
+        assert_eq!(keys_by_shard.len(), s, "one key set per shard");
+        if s == 1 {
+            return self.clone();
+        }
+        // Point masses: each stored key carries an equal share of its
+        // shard's observed load.
+        let mut points: Vec<(u64, f64)> = Vec::new();
+        for (&load, keys) in loads.iter().zip(keys_by_shard) {
+            if load == 0 || keys.is_empty() {
+                continue;
+            }
+            let w = load as f64 / keys.len() as f64;
+            points.extend(keys.iter().map(|&k| (k, w)));
+        }
+        if points.is_empty() {
+            return self.clone();
+        }
+        points.sort_unstable_by_key(|p| p.0);
+        let total: f64 = points.iter().map(|p| p.1).sum();
+        let mut bounds: Vec<u64> = Vec::with_capacity(s);
+        bounds.push(0);
+        let mut cum = 0.0;
+        let mut it = points.iter().peekable();
+        for k in 1..s {
+            let target = total * k as f64 / s as f64;
+            let mut boundary = None;
+            while let Some(&&(key, w)) = it.peek() {
+                if cum + w < target {
+                    cum += w;
+                    it.next();
+                } else {
+                    // This key's mass crosses the target: it stays in
+                    // the lower slice, the boundary sits just above it.
+                    cum += w;
+                    it.next();
+                    boundary = Some(key.saturating_add(1));
+                    break;
+                }
+            }
+            let prev = *bounds.last().expect("bounds start at 0");
+            // Reserve one key of headroom per remaining boundary so the
+            // tail stays strictly ascending even when the points run out
+            // or cluster at the top of the key space.
+            let headroom = (s - 1 - k) as u64;
+            let key = boundary
+                .unwrap_or(u64::MAX - headroom)
+                .max(prev + 1)
+                .min(u64::MAX - headroom);
+            bounds.push(key);
+        }
+        ShardRouter::from_bounds(bounds)
     }
 
     /// Splits a position-ordered batch into one [`SubBatch`] per shard
@@ -90,6 +237,31 @@ impl ShardRouter {
         }
         subs
     }
+}
+
+/// One intra-node shard's share of the node's work — the imbalance
+/// signal hot-shard detection reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Lookup/insert/query operations the shard served.
+    pub queries: u64,
+    /// Busy virtual time the shard accumulated.
+    pub busy: Nanos,
+}
+
+/// Max/mean ratio of per-shard query counts: 1.0 is perfectly balanced,
+/// `S` is everything-on-one-shard. Zero-load vectors report 1.0.
+pub fn load_imbalance(loads: &[ShardLoad]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: u64 = loads.iter().map(|l| l.queries).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    let max = loads.iter().map(|l| l.queries).max().unwrap_or(0) as f64;
+    max / mean
 }
 
 /// One shard's slice of a batch: the fingerprints routed to it, parallel
@@ -263,9 +435,10 @@ impl ShardedNode {
         &self.config
     }
 
-    /// The shard router (for callers that partition work themselves).
+    /// The shard router (for callers that partition work themselves) —
+    /// cheap to clone, the boundary table is shared.
     pub fn router(&self) -> ShardRouter {
-        self.router
+        self.router.clone()
     }
 
     /// Number of shards.
@@ -288,6 +461,92 @@ impl ShardedNode {
                 .collect::<Vec<_>>()
                 .iter(),
         )
+    }
+
+    /// Per-shard load shares — the imbalance signal hot-shard detection
+    /// feeds to [`load_imbalance`] and [`ShardRouter::rebalanced`].
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let s = shard.stats();
+                ShardLoad {
+                    queries: s.ops() + s.queries,
+                    busy: s.busy,
+                }
+            })
+            .collect()
+    }
+
+    /// Re-partitions the shard slices in place: every stored entry whose
+    /// routing key falls outside its shard's *new* slice migrates to the
+    /// owning shard (install on the target, then remove from the source —
+    /// entries are never absent mid-move). Returns the number of entries
+    /// moved. Answers are unaffected: the router changes *where* an entry
+    /// lives inside the node, never what a lookup returns.
+    ///
+    /// # Errors
+    ///
+    /// [`shhc_types::Error::InvalidArgument`] when the new router's shard
+    /// count differs, or when the node is durable — a WAL restart rebuilds
+    /// the uniform router and would mis-route re-homed entries, so live
+    /// re-splitting is (for now) a volatile-node optimization.
+    pub fn resplit(&mut self, new_router: ShardRouter) -> Result<u64> {
+        if new_router.count() != self.shards.len() {
+            return Err(shhc_types::Error::InvalidArgument(format!(
+                "resplit must keep the shard count ({} != {})",
+                new_router.count(),
+                self.shards.len()
+            )));
+        }
+        if self.config.durability.is_durable() {
+            return Err(shhc_types::Error::InvalidArgument(
+                "resplit of a durable node would diverge from the WAL's uniform layout".into(),
+            ));
+        }
+        if new_router == self.router {
+            return Ok(0);
+        }
+        let mut moved = 0u64;
+        for s in 0..self.shards.len() {
+            for (fp, value) in self.shards[s].scan()? {
+                let target = new_router.shard_of(&fp);
+                if target != s {
+                    self.shards[target].install(fp, value)?;
+                    self.shards[s].remove(fp)?;
+                    moved += 1;
+                }
+            }
+        }
+        self.router = new_router;
+        Ok(moved)
+    }
+
+    /// Per-shard `(cache capacity, decayed recent misses)` — the cache
+    /// autosizer's input vector.
+    pub fn shard_cache_profile(&self) -> Vec<(usize, f64)> {
+        self.shards
+            .iter()
+            .map(|s| (s.cache_capacity(), s.recent_cache_misses()))
+            .collect()
+    }
+
+    /// Resizes one shard's RAM cache online (clamped to the policy
+    /// minimum).
+    pub fn resize_shard_cache(&mut self, shard: usize, capacity: usize) {
+        self.shards[shard].resize_cache(capacity);
+    }
+
+    /// One cache-autosizing step: asks `sizer` for a capacity move given
+    /// the current per-shard profile and applies it (shrink the donor
+    /// first, then grow the receiver — total residency never overshoots).
+    /// Returns the applied move, `None` when the shards are balanced.
+    pub fn autosize_caches(&mut self, sizer: &CacheSizer) -> Option<SizerDecision> {
+        let profile = self.shard_cache_profile();
+        let d = sizer.plan(&profile)?;
+        self.shards[d.from].resize_cache(profile[d.from].0 - d.entries);
+        self.shards[d.to].resize_cache(profile[d.to].0 + d.entries);
+        Some(d)
     }
 
     /// Merged RAM cache counters across shards.
@@ -576,6 +835,202 @@ mod tests {
             }
             assert_eq!(router.shard_of(&fp(u64::MAX)), s as usize - 1);
         }
+    }
+
+    #[test]
+    fn uniform_bounds_match_fixed_point_routing() {
+        // The bounds-based router must agree everywhere with the old
+        // multiplicative routing ⌊route_key · S / 2⁶⁴⌋.
+        for s in 1..=9u32 {
+            let router = ShardRouter::new(s);
+            assert_eq!(router.count(), s as usize);
+            for i in 0..4000u64 {
+                let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let want = ((u128::from(key) * u128::from(s)) >> 64) as usize;
+                assert_eq!(router.shard_of(&fp(key)), want, "S={s} key={key:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_bounds_routes_by_explicit_slices() {
+        let router = ShardRouter::from_bounds(vec![0, 100, 1 << 40]);
+        assert_eq!(router.shard_of(&fp(0)), 0);
+        assert_eq!(router.shard_of(&fp(99)), 0);
+        assert_eq!(router.shard_of(&fp(100)), 1);
+        assert_eq!(router.shard_of(&fp((1 << 40) - 1)), 1);
+        assert_eq!(router.shard_of(&fp(1 << 40)), 2);
+        assert_eq!(router.shard_of(&fp(u64::MAX)), 2);
+        assert_eq!(router.bounds(), &[0, 100, 1 << 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_bounds_rejects_disorder() {
+        let _ = ShardRouter::from_bounds(vec![0, 5, 5]);
+    }
+
+    #[test]
+    fn rebalanced_narrows_the_hot_slice() {
+        let router = ShardRouter::new(4);
+        // Shard 0 carries ~97% of the load: its slice must shrink and
+        // the other boundaries must crowd into the old shard-0 range.
+        let hot = router.rebalanced(&[9700, 100, 100, 100]);
+        assert_eq!(hot.count(), 4);
+        let old_shard0_end = router.bounds()[1];
+        assert!(
+            hot.bounds()[1] < old_shard0_end / 2,
+            "hot prefix should narrow, bounds {:?}",
+            hot.bounds()
+        );
+        // Under the assumed piecewise-uniform load, each new slice now
+        // carries ~1/4: re-deriving loads from the new bounds via overlap
+        // with the old slices should be near-balanced.
+        // Balanced load is a fixed point.
+        let balanced = router.rebalanced(&[5, 5, 5, 5]);
+        assert_eq!(balanced.bounds(), router.bounds());
+        // Zero load leaves the router unchanged.
+        assert_eq!(router.rebalanced(&[0; 4]).bounds(), router.bounds());
+    }
+
+    #[test]
+    fn rebalanced_over_keys_splits_a_clustered_hot_set() {
+        let router = ShardRouter::new(4);
+        // 300 keys clustered at the very bottom of shard 0's slice — the
+        // uniform model barely moves the boundary; the key-weighted one
+        // must land boundaries between the stored keys.
+        let keys: Vec<u64> = (0..300).map(|i| i * 1000).collect();
+        let loads = [300u64, 0, 0, 0];
+        let keys_by_shard = [keys.clone(), Vec::new(), Vec::new(), Vec::new()];
+        let hot = router.rebalanced_over_keys(&loads, &keys_by_shard);
+        let mut per_shard = [0usize; 4];
+        for &k in &keys {
+            per_shard[hot.shard_of(&fp(k))] += 1;
+        }
+        assert_eq!(per_shard, [75, 75, 75, 75], "bounds {:?}", hot.bounds());
+        // Degenerate inputs leave the router unchanged.
+        assert_eq!(
+            router
+                .rebalanced_over_keys(&[0; 4], &[vec![], vec![], vec![], vec![]])
+                .bounds(),
+            router.bounds()
+        );
+        // Fewer keys than shards still yields a valid (strictly
+        // ascending) partition.
+        let tiny = router.rebalanced_over_keys(
+            &[2, 0, 0, 0],
+            &[vec![u64::MAX - 1, u64::MAX], vec![], vec![], vec![]],
+        );
+        assert_eq!(tiny.count(), 4);
+    }
+
+    #[test]
+    fn load_imbalance_signal() {
+        let balanced: Vec<ShardLoad> = (0..4)
+            .map(|_| ShardLoad {
+                queries: 100,
+                busy: Nanos::ZERO,
+            })
+            .collect();
+        assert!((load_imbalance(&balanced) - 1.0).abs() < 1e-9);
+        let skewed: Vec<ShardLoad> = [970u64, 10, 10, 10]
+            .iter()
+            .map(|&q| ShardLoad {
+                queries: q,
+                busy: Nanos::ZERO,
+            })
+            .collect();
+        assert!(load_imbalance(&skewed) > 3.0);
+        assert_eq!(load_imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn resplit_preserves_every_answer() {
+        // Volatile regardless of the env matrix: re-splitting is
+        // *supposed* to be declined on durable nodes (tested below).
+        let volatile = NodeConfig::small_test().with_durability(crate::Durability::Volatile);
+        let mut reference = HybridHashNode::new(NodeId::new(0), volatile.clone()).unwrap();
+        let mut node = ShardedNode::new(NodeId::new(0), volatile.with_shards(4)).unwrap();
+        // Clustered keys: everything lands on shard 0.
+        let hot: Vec<Fingerprint> = (0..120).map(|i| fp(i * 1000)).collect();
+        reference.lookup_insert_batch(&hot).unwrap();
+        node.lookup_insert_batch(&hot).unwrap();
+        let loads = node.shard_loads();
+        assert!(
+            load_imbalance(&loads) > 2.0,
+            "clustered keys overload shard 0"
+        );
+        // Re-split the hot prefix across all four shards, then verify
+        // nothing changed observably: same answers, same scan, same
+        // entries.
+        let new_router = ShardRouter::from_bounds(vec![0, 30_000, 60_000, 90_000]);
+        let moved = node.resplit(new_router.clone()).unwrap();
+        assert!(moved > 0, "clustered entries must re-home");
+        assert_eq!(node.router(), new_router);
+        let want = reference.lookup_insert_batch(&hot).unwrap();
+        let got = node.lookup_insert_batch(&hot).unwrap();
+        assert_eq!(got.exists, want.exists);
+        assert_eq!(got.values, want.values);
+        assert_eq!(node.scan().unwrap(), reference.scan().unwrap());
+        assert_eq!(node.entries(), reference.entries());
+        // The re-split spread the stored entries across shards.
+        let spread_loads = node.shard_loads();
+        assert!(spread_loads.iter().filter(|l| l.queries > 0).count() > 1);
+    }
+
+    #[test]
+    fn resplit_declined_for_durable_nodes() {
+        let dir = std::env::temp_dir().join(format!("shhc-resplit-{}", std::process::id()));
+        let config = NodeConfig::small_test()
+            .with_shards(4)
+            .with_durability(crate::Durability::wal(&dir));
+        let mut node = ShardedNode::new(NodeId::new(0), config).unwrap();
+        let err = node
+            .resplit(ShardRouter::from_bounds(vec![0, 1, 2, 3]))
+            .unwrap_err();
+        assert!(
+            matches!(err, shhc_types::Error::InvalidArgument(_)),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resplit_rejects_shard_count_change() {
+        let mut node = sharded(4);
+        let err = node.resplit(ShardRouter::new(8)).unwrap_err();
+        assert!(
+            matches!(err, shhc_types::Error::InvalidArgument(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn autosize_moves_capacity_to_the_missing_shard() {
+        use shhc_cache::SizerConfig;
+        let mut node = sharded(4);
+        // Warm every shard, then hammer shard 0 with misses (clustered
+        // low keys) so its decayed miss count dominates.
+        let spread_keys: Vec<Fingerprint> = (0..64).map(spread).collect();
+        node.lookup_insert_batch(&spread_keys).unwrap();
+        for i in 0..2000u64 {
+            let f = fp(i % 701); // low keys → shard 0, mostly capacity misses
+            node.query_many(std::slice::from_ref(&f)).unwrap();
+        }
+        let sizer = CacheSizer::new(SizerConfig {
+            min_capacity: 8,
+            step: 16,
+            hysteresis: 1.5,
+        });
+        let before = node.shard_cache_profile();
+        let total_before: usize = before.iter().map(|p| p.0).sum();
+        let d = node
+            .autosize_caches(&sizer)
+            .expect("skewed misses move capacity");
+        assert_eq!(d.to, 0, "hot shard receives: {d:?}");
+        let after = node.shard_cache_profile();
+        assert_eq!(after.iter().map(|p| p.0).sum::<usize>(), total_before);
+        assert!(after[0].0 > before[0].0);
     }
 
     #[test]

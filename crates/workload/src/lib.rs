@@ -18,6 +18,8 @@
 //!   open-loop arrivals) for the shared-front-end experiments,
 //! - [`OpMixSpec`] / [`split_op_mix`] — raw map-operation mixes for the
 //!   index-backend shootout bench,
+//! - [`SkewSpec`] / [`ZipfSampler`] — seeded Zipf / rotating hot-set
+//!   streams for the self-tuning benches,
 //! - [`spread_fingerprint`] / [`spread_batches`] — ring-uniform unique
 //!   fingerprint streams for the wall-clock benches.
 //!
@@ -43,6 +45,7 @@ mod mixer;
 mod multi;
 mod opmix;
 pub mod presets;
+mod skew;
 mod spread;
 
 pub use charact::{characterize, TraceCharacteristics};
@@ -52,4 +55,5 @@ pub use io::{load_trace, save_trace};
 pub use mixer::mix;
 pub use multi::MultiClientSpec;
 pub use opmix::{split_op_mix, MapOp, OpMixSpec};
+pub use skew::{KeyMapping, SkewSpec, ZipfSampler};
 pub use spread::{spread_batches, spread_fingerprint};
