@@ -76,6 +76,12 @@ pub fn adaptive_quick() -> bool {
     env_flag("SHHC_ADAPTIVE_QUICK")
 }
 
+/// Quick mode for the overload/admission bench (`SHHC_OVERLOAD_QUICK`):
+/// a short run at a reduced offered-load grid for a CI smoke run.
+pub fn overload_quick() -> bool {
+    env_flag("SHHC_OVERLOAD_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

@@ -186,6 +186,17 @@ impl ClusterStats {
         self.nodes.iter().map(|n| n.stats.lock_waits).sum()
     }
 
+    /// Deepest inbound request queue any alive node has seen — the
+    /// cluster-side overload gauge (near 1 when nodes keep up; grows
+    /// with the worst burst a node absorbed).
+    pub fn max_queue_peak(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.stats.queue_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Total snapshot-backend stale-epoch refreshes across alive nodes
     /// (zero for the locking backends).
     pub fn total_read_retries(&self) -> u64 {
@@ -2133,6 +2144,10 @@ mod tests {
         assert_eq!(stats.total_entries(), 200);
         // Work spread over all 4 nodes.
         assert!(stats.nodes.iter().all(|n| n.entries > 0));
+        // Every node served at least one request, so each saw a queue
+        // depth of at least 1 (the frame being handled).
+        assert!(stats.nodes.iter().all(|n| n.stats.queue_peak >= 1));
+        assert!(stats.max_queue_peak() >= 1);
         cluster.shutdown().unwrap();
     }
 

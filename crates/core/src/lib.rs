@@ -13,6 +13,10 @@
 //!   submission receiving a completion [`Ticket`](shhc_net::Ticket);
 //!   batches close on size, on age (background flusher thread) or on
 //!   flush, and one cluster round-trip answers every ticket,
+//! - [`FrontendTier`] — N shared front-ends load-balancing one cluster
+//!   via power-of-two-choices on outstanding work, each optionally behind
+//!   a bounded [`AdmissionPolicy`] (blocking backpressure or fail-fast
+//!   shedding) — the multi-front-end arrangement of the paper's Figure 4,
 //! - [`Frontend`] — the per-session facade over a shared front-end
 //!   (legacy single-client API preserved); [`SyncFrontend`] keeps the
 //!   pre-refactor submit-driven behaviour as a measured baseline,
@@ -53,6 +57,7 @@ mod server;
 mod service;
 mod shared_frontend;
 mod simcluster;
+mod tier;
 
 pub use client::{BackupClient, FileEntry, Snapshot, SnapshotReport};
 pub use cluster::{
@@ -61,12 +66,15 @@ pub use cluster::{
 pub use frontend::{Frontend, SyncFrontend};
 pub use server::{AutotuneOptions, AutotuneReport, NodeSnapshot};
 pub use service::{BackupReport, BackupService, DeleteReport};
-pub use shared_frontend::{LookupAnswer, SharedFrontend};
+pub use shared_frontend::{FrontendConfig, LookupAnswer, SharedFrontend};
 pub use simcluster::{SimCluster, SimClusterConfig, SimReport};
+pub use tier::FrontendTier;
 
 // The ticket/stats types a SharedFrontend user needs, re-exported from
 // the net layer so `shhc` stays a single-dependency facade.
-pub use shhc_net::{BatchTuner, SharedBatcherStats, Ticket, TunerConfig, TunerTick};
+pub use shhc_net::{
+    AdmissionPolicy, BatchTuner, IngestModel, SharedBatcherStats, Ticket, TunerConfig, TunerTick,
+};
 
 // The self-tuning knobs `autotune` exposes.
 pub use shhc_cache::{SizerConfig, SizerDecision};
@@ -83,8 +91,8 @@ pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Resul
 /// Commonly used imports for applications built on SHHC.
 pub mod prelude {
     pub use crate::{
-        BackupReport, BackupService, ClusterConfig, Frontend, SharedFrontend, ShhcCluster,
-        SimCluster, SimClusterConfig,
+        BackupReport, BackupService, ClusterConfig, Frontend, FrontendConfig, FrontendTier,
+        SharedFrontend, ShhcCluster, SimCluster, SimClusterConfig,
     };
     pub use shhc_chunking::{Chunker, FixedChunker, GearChunker, RabinChunker};
     pub use shhc_node::{HybridHashNode, NodeConfig};

@@ -207,7 +207,12 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
     // One reply-encode scratch buffer for the thread's lifetime: replies
     // reuse its allocation instead of growing a fresh buffer per frame.
     let mut scratch = BytesMut::new();
+    // High-water mark of the inbound queue (requests still waiting plus
+    // the one just received) — the node-side overload gauge surfaced
+    // through `Stats`.
+    let mut queue_peak: u64 = 0;
     while let Ok(request) = rx.recv() {
+        queue_peak = queue_peak.max(rx.len() as u64 + 1);
         match request {
             NodeRequest::Data { frame, reply } => {
                 let response = handle_frame(&mut node, &frame);
@@ -230,7 +235,9 @@ pub(crate) fn node_loop(mut node: HybridHashNode, rx: Receiver<NodeRequest>) {
             }
             NodeRequest::Control { msg, reply } => match msg {
                 ControlMsg::Stats => {
-                    let _ = reply.send(ControlReply::Stats(Box::new(snapshot_of(&node))));
+                    let mut snap = snapshot_of(&node);
+                    snap.stats.queue_peak = queue_peak;
+                    let _ = reply.send(ControlReply::Stats(Box::new(snap)));
                 }
                 ControlMsg::Flush => {
                     let r = match node.flush() {
@@ -446,6 +453,10 @@ struct NodeShared {
     /// shard signal tracks the current phase of a shifting workload
     /// instead of averaging over all history.
     tuned_loads: Mutex<Vec<ShardLoad>>,
+    /// High-water mark of the dispatcher's inbound queue (requests still
+    /// waiting plus the one being dispatched). Written by the dispatcher
+    /// loop, folded into merged `Stats` snapshots by the Stats job.
+    queue_peak: AtomicU64,
 }
 
 /// The dispatcher's handle on the reader pool.
@@ -827,6 +838,9 @@ impl FrameJob {
                     snap.stats.busy += Nanos::new(pool.stats.busy_nanos.load(Ordering::Relaxed));
                     snap.readers = pool.readers;
                 }
+                // The shards never saw the inbound queue; the
+                // dispatcher's high-water mark is the node's.
+                snap.stats.queue_peak = self.shared.queue_peak.load(Ordering::Relaxed);
                 self.send_control(ControlReply::Stats(Box::new(snap)));
             }
         }
@@ -1111,6 +1125,7 @@ pub(crate) fn sharded_node_loop(
         router: RwLock::new(router),
         outstanding: Arc::new(AtomicUsize::new(0)),
         tuned_loads: Mutex::new(Vec::new()),
+        queue_peak: AtomicU64::new(0),
     });
     let handles: Vec<JoinHandle<()>> = shards
         .into_iter()
@@ -1146,6 +1161,12 @@ pub(crate) fn sharded_node_loop(
     // their WALs unclosed — a crash.
     let mut clean = false;
     while let Ok(request) = rx.recv() {
+        // Only the dispatcher writes this; a load-relaxed read-max-store
+        // is race-free here and keeps the hot loop cheap.
+        let depth = rx.len() as u64 + 1;
+        if depth > shared.queue_peak.load(Ordering::Relaxed) {
+            shared.queue_peak.store(depth, Ordering::Relaxed);
+        }
         match request {
             NodeRequest::Data { frame, reply } => {
                 let router = shared.router.read().clone();

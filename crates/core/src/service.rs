@@ -9,13 +9,25 @@ use shhc_chunking::Chunker;
 use shhc_storage::{restore, BackupManifest, ChunkStore};
 use shhc_types::{ChunkId, Fingerprint, Result, StreamId};
 
-use crate::{LookupAnswer, SharedFrontend, ShhcCluster};
+use crate::{FrontendTier, LookupAnswer, SharedFrontend, ShhcCluster};
 
 /// Age limit for the service's private shared front-end. Rarely hit —
 /// full windows close their batch by size and tail windows flush — but it
 /// bounds the wait when concurrent sessions interleave submissions and a
 /// window's fingerprints straddle a batch boundary.
 const SERVICE_MAX_AGE: Duration = Duration::from_millis(20);
+
+/// How many times a shed lookup submission is retried (with backoff)
+/// before the overload error is surfaced to the backup session. At the
+/// backoff cap this is ≈¼ s of yielding — long enough to ride out a
+/// burst, short enough that a truly saturated tier fails fast.
+const SHED_RETRY_LIMIT: u32 = 32;
+
+/// First retry backoff after a shed submission; doubles per attempt.
+const SHED_BACKOFF_FLOOR: Duration = Duration::from_micros(200);
+
+/// Backoff ceiling for shed retries.
+const SHED_BACKOFF_CAP: Duration = Duration::from_millis(10);
 
 /// Outcome of a backup deletion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +82,7 @@ impl BackupReport {
 }
 
 struct ServiceInner<C, S> {
-    frontend: SharedFrontend,
+    tier: FrontendTier,
     chunker: C,
     /// Reader-writer: restores and stats only read (`ChunkStore::get`/
     /// `fingerprint_of` take `&self`), so a long restore does not
@@ -140,7 +152,7 @@ impl<C, S> std::fmt::Debug for BackupService<C, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BackupService")
             .field("batch_size", &self.inner.batch_size)
-            .field("frontend", &self.inner.frontend)
+            .field("tier", &self.inner.tier)
             .finish()
     }
 }
@@ -162,12 +174,23 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
     }
 
     /// Creates a service over an existing shared front-end (its batch
-    /// size becomes the service's lookup window).
+    /// size becomes the service's lookup window) — a tier of one.
     pub fn with_frontend(frontend: SharedFrontend, chunker: C, store: S) -> Self {
-        let batch_size = frontend.batch_size();
+        Self::with_tier(FrontendTier::from_frontends(vec![frontend]), chunker, store)
+    }
+
+    /// Creates a service over a load-balanced [`FrontendTier`]. Sessions'
+    /// lookup windows spread across the tier's front-ends by
+    /// power-of-two-choices, and each session's submissions carry its
+    /// stream id as the admission tenant — under a `FairShed` policy a
+    /// noisy stream sheds before it can starve quiet ones.
+    ///
+    /// The lookup window is the first front-end's batch size.
+    pub fn with_tier(tier: FrontendTier, chunker: C, store: S) -> Self {
+        let batch_size = tier.frontend(0).batch_size();
         BackupService {
             inner: Arc::new(ServiceInner {
-                frontend,
+                tier,
                 chunker,
                 store: RwLock::new(store),
                 batch_size,
@@ -178,12 +201,19 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
 
     /// The underlying cluster handle.
     pub fn cluster(&self) -> &ShhcCluster {
-        self.inner.frontend.cluster()
+        self.inner.tier.cluster()
     }
 
-    /// The shared front-end this service submits lookups through.
+    /// The first front-end of the service's tier (the only one for
+    /// services built with [`new`](Self::new) or
+    /// [`with_frontend`](Self::with_frontend)).
     pub fn frontend(&self) -> &SharedFrontend {
-        &self.inner.frontend
+        self.inner.tier.frontend(0)
+    }
+
+    /// The front-end tier this service submits lookups through.
+    pub fn tier(&self) -> &FrontendTier {
+        &self.inner.tier
     }
 
     /// Locked (shared, read-only) access to the underlying chunk store
@@ -192,16 +222,36 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
         self.inner.store.read()
     }
 
-    /// Submits one window of fingerprints through the shared front-end
-    /// and waits for every ticket. A window smaller than the batch size
-    /// flushes, so the tail of a stream is never left to the age limit.
-    fn lookup_window(&self, fps: &[Fingerprint]) -> Result<Vec<LookupAnswer>> {
-        let tickets: Vec<_> = fps
-            .iter()
-            .map(|fp| self.inner.frontend.submit(*fp))
-            .collect();
+    /// Submits one window of fingerprints through the front-end tier
+    /// (tenant-attributed to `stream`) and waits for every ticket. A
+    /// window smaller than the batch size flushes, so the tail of a
+    /// stream is never left to the age limit.
+    ///
+    /// Shed submissions are retried with exponential backoff up to
+    /// [`SHED_RETRY_LIMIT`] times — overload shows up as a slower backup
+    /// first and an [`Overloaded`](shhc_types::Error::Overloaded) error
+    /// only once the tier stays saturated through the whole backoff run.
+    fn lookup_window(&self, stream: StreamId, fps: &[Fingerprint]) -> Result<Vec<LookupAnswer>> {
+        let tenant = Some(stream.raw());
+        let mut tickets = Vec::with_capacity(fps.len());
+        for fp in fps {
+            let mut backoff = SHED_BACKOFF_FLOOR;
+            let mut attempts = 0u32;
+            let ticket = loop {
+                let (ticket, shed) = self.inner.tier.submit_from(tenant, *fp);
+                if !shed || attempts >= SHED_RETRY_LIMIT {
+                    // Retries exhausted: the shed ticket is already
+                    // resolved Overloaded and surfaces below in wait().
+                    break ticket;
+                }
+                attempts += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(SHED_BACKOFF_CAP);
+            };
+            tickets.push(ticket);
+        }
         if fps.len() < self.inner.batch_size {
-            self.inner.frontend.flush()?;
+            self.inner.tier.flush_all()?;
         }
         tickets.into_iter().map(|t| t.wait()).collect()
     }
@@ -225,7 +275,7 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
         let chunks: Vec<_> = self.inner.chunker.chunk(data).collect();
         for window in chunks.chunks(self.inner.batch_size) {
             let fps: Vec<Fingerprint> = window.iter().map(|c| c.fingerprint).collect();
-            let answers = self.lookup_window(&fps)?;
+            let answers = self.lookup_window(stream, &fps)?;
 
             let mut record_pairs: Vec<(Fingerprint, u64)> = Vec::new();
             #[allow(clippy::redundant_closure_call)] // try-block emulation
@@ -534,5 +584,35 @@ mod tests {
         // redundant copies but never lose data.
         let chunks = svc.store().stats().chunks;
         assert!((50..=200).contains(&chunks), "stored {chunks} chunks");
+    }
+
+    #[test]
+    fn concurrent_backups_complete_through_a_fair_shed_tier() {
+        // A tier of 2 tightly bounded front-ends: sessions get shed under
+        // the combined load and the retry/backoff path must still land
+        // every backup byte-exactly.
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+        let config = crate::FrontendConfig::new(32, SERVICE_MAX_AGE).admission(
+            shhc_net::AdmissionPolicy::FairShed {
+                max_pending: 48,
+                per_tenant_quota: 40,
+            },
+        );
+        let tier = FrontendTier::new(cluster, 2, &config);
+        let svc =
+            BackupService::with_tier(tier, FixedChunker::new(128), MemChunkStore::new(1 << 20));
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                let data = random_data(6400, 200 + u64::from(s));
+                let report = svc.backup(StreamId::new(s), &data).unwrap();
+                assert_eq!(svc.restore(&report.manifest).unwrap(), data);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(svc.store().stats().chunks, 4 * 50);
     }
 }

@@ -18,7 +18,10 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use shhc_net::{BatchTuner, ClosedBatch, SharedBatcher, SharedBatcherStats, Ticket, TunerConfig};
+use shhc_net::{
+    AdmissionPolicy, BatchTuner, ClosedBatch, IngestModel, SharedBatcher, SharedBatcherStats,
+    Ticket, TunerConfig,
+};
 use shhc_types::{Fingerprint, Result};
 
 use crate::ShhcCluster;
@@ -38,6 +41,72 @@ pub struct LookupAnswer {
 /// Floor on flusher sleeps, so a tiny `max_age` degrades to a busy-ish
 /// poll instead of a zero-length sleep loop.
 const MIN_TICK: Duration = Duration::from_micros(50);
+
+/// Full configuration for a [`SharedFrontend`]: batch close limits plus
+/// the admission policy, ingest-rate model and optional batch tuner.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use shhc::FrontendConfig;
+/// use shhc_net::AdmissionPolicy;
+///
+/// let config = FrontendConfig::new(64, Duration::from_millis(5))
+///     .admission(AdmissionPolicy::Shed { max_pending: 4096 });
+/// assert_eq!(config.batch_size, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Maximum fingerprints per batch (size close trigger).
+    pub batch_size: usize,
+    /// Maximum batch age before the flusher closes it.
+    pub max_age: Duration,
+    /// Admission policy bounding the pending + in-flight queue.
+    pub admission: AdmissionPolicy,
+    /// Optional ingest-rate model: the front-end's own aggregation
+    /// capacity, paced (`Block`) or enforced by shedding.
+    pub ingest: Option<IngestModel>,
+    /// Optional adaptive batch tuner retuning the close limits live.
+    pub tuner: Option<TunerConfig>,
+}
+
+impl FrontendConfig {
+    /// A config with the given close limits, default (blocking) admission,
+    /// no ingest model and no tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize, max_age: Duration) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        FrontendConfig {
+            batch_size,
+            max_age,
+            admission: AdmissionPolicy::default(),
+            ingest: None,
+            tuner: None,
+        }
+    }
+
+    /// Sets the admission policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets the ingest-rate model.
+    pub fn ingest(mut self, model: IngestModel) -> Self {
+        self.ingest = Some(model);
+        self
+    }
+
+    /// Attaches an adaptive batch tuner.
+    pub fn tuner(mut self, tuner: TunerConfig) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+}
 
 struct FrontendInner {
     cluster: ShhcCluster,
@@ -129,13 +198,25 @@ impl SharedFrontend {
     /// default [`BatchTuner`] (as [`with_tuner`](Self::with_tuner)
     /// would) — the CI lever that runs the whole existing suite with the
     /// adaptive batcher enabled, pinning down that tuning never changes
-    /// answers.
+    /// answers. Setting `SHHC_TEST_ADMISSION=fairshed` likewise runs the
+    /// suite behind a per-tenant fair-shedding admission gate, pinning
+    /// down that a bounded front-end still answers everything the tests
+    /// submit.
     pub fn new(cluster: ShhcCluster, batch_size: usize, max_age: Duration) -> Self {
-        let tuner = match std::env::var("SHHC_TEST_ADAPTIVE") {
-            Ok(v) if v == "1" => Some(TunerConfig::default()),
-            _ => None,
-        };
-        Self::spawn_with(cluster, batch_size, max_age, tuner)
+        let mut config = FrontendConfig::new(batch_size, max_age);
+        if matches!(std::env::var("SHHC_TEST_ADAPTIVE"), Ok(v) if v == "1") {
+            config = config.tuner(TunerConfig::default());
+        }
+        if matches!(std::env::var("SHHC_TEST_ADMISSION"), Ok(v) if v == "fairshed") {
+            // Bounds generous enough that the functional suite never
+            // actually sheds — the lever checks the gate's accounting,
+            // not its refusals.
+            config = config.admission(AdmissionPolicy::FairShed {
+                max_pending: 1 << 15,
+                per_tenant_quota: 1 << 11,
+            });
+        }
+        Self::with_config(cluster, config)
     }
 
     /// Creates a shared front-end whose batch limits are continuously
@@ -154,23 +235,32 @@ impl SharedFrontend {
         max_age: Duration,
         tuner: TunerConfig,
     ) -> Self {
-        Self::spawn_with(cluster, batch_size, max_age, Some(tuner))
+        Self::with_config(
+            cluster,
+            FrontendConfig::new(batch_size, max_age).tuner(tuner),
+        )
     }
 
-    fn spawn_with(
-        cluster: ShhcCluster,
-        batch_size: usize,
-        max_age: Duration,
-        tuner: Option<TunerConfig>,
-    ) -> Self {
+    /// Creates a shared front-end from a full [`FrontendConfig`]:
+    /// admission policy, ingest model and tuner included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.batch_size` is zero.
+    pub fn with_config(cluster: ShhcCluster, config: FrontendConfig) -> Self {
         let (wake_tx, wake_rx) = unbounded();
         let inner = Arc::new(FrontendInner {
             cluster,
-            batcher: SharedBatcher::new(batch_size, max_age),
+            batcher: SharedBatcher::with_admission(
+                config.batch_size,
+                config.max_age,
+                config.admission,
+                config.ingest,
+            ),
             wake_tx,
         });
         let weak = Arc::downgrade(&inner);
-        let tuner = tuner.map(BatchTuner::new);
+        let tuner = config.tuner.map(BatchTuner::new);
         std::thread::Builder::new()
             .name("shhc-fe-flusher".into())
             .spawn(move || flusher_loop(weak, wake_rx, tuner))
@@ -185,7 +275,23 @@ impl SharedFrontend {
     /// returning, so every ticket in it — this one included — is already
     /// answered. Dispatch failures are delivered through the tickets.
     pub fn submit(&self, fp: Fingerprint) -> Ticket<LookupAnswer> {
-        let submitted = self.inner.batcher.submit(fp);
+        self.submit_from(None, fp).0
+    }
+
+    /// Submits one fingerprint on behalf of a tenant (a client stream),
+    /// returning its completion ticket and whether admission control
+    /// shed it.
+    ///
+    /// A shed submission's ticket is already resolved with
+    /// [`Overloaded`](shhc_types::Error::Overloaded) and nothing was
+    /// queued — callers that can retry should back off first. Admitted
+    /// submissions behave exactly like [`submit`](Self::submit).
+    pub fn submit_from(
+        &self,
+        tenant: Option<u32>,
+        fp: Fingerprint,
+    ) -> (Ticket<LookupAnswer>, bool) {
+        let submitted = self.inner.batcher.submit_from(tenant, fp);
         if submitted.opened {
             // Re-arm the flusher's age alarm for the fresh batch. A full
             // wake channel is impossible to miss: the flusher drains it
@@ -197,7 +303,7 @@ impl SharedFrontend {
             // the batch just sees their ticket become ready.
             let _ = self.inner.dispatch(batch);
         }
-        submitted.ticket
+        (submitted.ticket, submitted.shed)
     }
 
     /// Dispatches whatever is pending, answering those tickets. Returns
@@ -234,6 +340,18 @@ impl SharedFrontend {
     /// The configured maximum batch age.
     pub fn max_age(&self) -> Duration {
         self.inner.batcher.max_age()
+    }
+
+    /// The admission policy bounding this front-end's queue.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.inner.batcher.admission_policy()
+    }
+
+    /// Submissions admitted but not yet answered (pending in the queue
+    /// plus dispatched to the cluster) — the load signal a balancer
+    /// compares front-ends by.
+    pub fn outstanding(&self) -> usize {
+        self.inner.batcher.outstanding()
     }
 }
 
@@ -361,6 +479,31 @@ mod tests {
         let t2 = fe.submit(fp(2));
         assert!(t1.wait().is_err());
         assert!(t2.wait().is_err());
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shed_submission_fails_fast_through_the_frontend() {
+        let cluster = ShhcCluster::spawn(ClusterConfig::small_test(1)).unwrap();
+        let config = FrontendConfig::new(100, Duration::from_secs(60))
+            .admission(AdmissionPolicy::Shed { max_pending: 2 });
+        let fe = SharedFrontend::with_config(cluster.clone(), config);
+        let (t1, shed1) = fe.submit_from(Some(7), fp(1));
+        let (t2, shed2) = fe.submit_from(Some(7), fp(2));
+        assert!(!shed1 && !shed2);
+        // Third submission exceeds the bound: resolved Overloaded now.
+        let (t3, shed3) = fe.submit_from(Some(7), fp(3));
+        assert!(shed3);
+        assert!(t3.is_ready());
+        assert!(t3.wait().unwrap_err().is_overload());
+        assert_eq!(fe.outstanding(), 2);
+        fe.flush().unwrap();
+        assert!(!t1.wait().unwrap().existed);
+        assert!(!t2.wait().unwrap().existed);
+        assert_eq!(fe.outstanding(), 0, "answered slots release admission");
+        let stats = fe.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 1);
         cluster.shutdown().unwrap();
     }
 

@@ -64,8 +64,10 @@ impl Default for TunerConfig {
 pub struct TunerTick {
     /// Batches released since the previous adjustment.
     pub window_batches: u64,
-    /// p99 queueing delay over the window's samples (falls back to the
-    /// window mean when the sample buffer saturated).
+    /// p99 queueing delay over the window's samples. The sample buffer
+    /// is a ring of the most recent delays, so this stays a live tail
+    /// signal at any uptime (falls back to the window mean only when the
+    /// window outran the ring entirely).
     pub window_p99: Option<Duration>,
     /// Size limit after this tick.
     pub size: usize,
@@ -83,7 +85,6 @@ struct Baseline {
     closed_by_age: u64,
     delay_count: u64,
     delay_total_ns: u128,
-    samples_seen: usize,
 }
 
 /// AIMD controller over a [`SharedBatcher`]'s close limits (see the
@@ -137,10 +138,17 @@ impl BatchTuner {
         }
         let size_closes = stats.closed_by_size - self.baseline.closed_by_size;
         let age_closes = stats.closed_by_age - self.baseline.closed_by_age;
-        // Tail over this window's fresh samples; once the bounded sample
-        // buffer saturates, fall back to the window's mean delay.
-        let fresh =
-            &stats.delay_samples_ns[self.baseline.samples_seen.min(stats.delay_samples_ns.len())..];
+        // Tail over this window's fresh samples. The sample buffer is a
+        // ring of the most recent delays (oldest first), so the window's
+        // samples are its *last* `window_count` entries — still live
+        // after the ring has wrapped many times over. Only when the
+        // window itself outran the ring (more new delays than the ring
+        // holds) do the surviving samples not cover it exactly; they are
+        // then still the window's most recent tail, which is the signal
+        // the controller wants anyway.
+        let window_count = (stats.delay_count - self.baseline.delay_count) as usize;
+        let retained = stats.delay_samples_ns.len();
+        let fresh = &stats.delay_samples_ns[retained - window_count.min(retained)..];
         let window_p99 = if fresh.is_empty() {
             let count = stats.delay_count - self.baseline.delay_count;
             if count == 0 {
@@ -189,7 +197,6 @@ impl BatchTuner {
             closed_by_age: stats.closed_by_age,
             delay_count: stats.delay_count,
             delay_total_ns: stats.delay_total_ns,
-            samples_seen: stats.delay_samples_ns.len(),
         };
         self.last_adjust = Some(now);
         Some(TunerTick {
@@ -285,6 +292,51 @@ mod tests {
         }
         assert_eq!(b.max_size(), 2);
         assert_eq!(b.max_age(), Duration::from_micros(100));
+    }
+
+    /// Regression: the windowed p99 used to read "fresh" samples as
+    /// everything past a high-water mark in an *append-only* sample
+    /// buffer, so once the buffer hit its cap the slice was empty
+    /// forever and the controller silently fell back to the lifetime
+    /// window mean — blind to the tail. With the ring of recent samples
+    /// the tail signal stays live after saturation.
+    #[test]
+    fn window_p99_survives_sample_ring_saturation() {
+        let b: SharedBatcher<u64> = SharedBatcher::new(8, Duration::from_secs(60));
+        // Tiny ring so saturation is cheap to reach.
+        b.set_delay_sample_cap_for_test(64);
+        let mut t = tuner(Duration::from_secs(1));
+        // Saturate the ring well past its cap with near-zero delays and
+        // establish a baseline.
+        drain(&b, 256, 8);
+        let stats = b.stats();
+        assert!(
+            stats.delay_count > 64 && stats.delay_samples_ns.len() == 64,
+            "ring saturated: {} recorded, {} retained",
+            stats.delay_count,
+            stats.delay_samples_ns.len()
+        );
+        t.tick(&b).expect("baseline tick");
+        // New window: 97 fast entries in one size-closed batch shape,
+        // then a 3-entry batch that waits ~30 ms before a flush. The
+        // window's p99 rank lands on a slow sample; its *mean* is under
+        // a millisecond — so a mean fallback would report a healthy tail
+        // while the real tail is 30 ms.
+        drain(&b, 96, 8);
+        let slow: Vec<crate::Ticket<u64>> = (0..4).map(|i| b.submit(fp(1000 + i)).ticket).collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let batch = b.flush().expect("slow batch pending");
+        let n = batch.len();
+        batch.complete(vec![0; n]).unwrap();
+        for ticket in slow {
+            let _ = ticket.wait();
+        }
+        let tick = t.tick(&b).expect("active window");
+        let p99 = tick.window_p99.expect("window had samples");
+        assert!(
+            p99 >= Duration::from_millis(20),
+            "post-saturation window p99 must see the 30 ms tail, got {p99:?}"
+        );
     }
 
     #[test]

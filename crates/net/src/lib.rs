@@ -19,6 +19,11 @@
 //!   from any client thread join one shared queue and receive a blocking
 //!   completion ticket; one cluster round-trip answers a whole batch
 //!   through index-mapped demux,
+//! - [`AdmissionPolicy`] + [`IngestModel`] — bounded admission in front
+//!   of the shared queue: blocking backpressure, fail-fast shedding
+//!   (`Error::Overloaded`), or per-tenant fair shedding, plus a
+//!   token-bucket ingest-rate model, so a front-end degrades gracefully
+//!   instead of queue-collapsing past saturation,
 //! - [`BatchTuner`] — an AIMD controller that retunes a live
 //!   [`SharedBatcher`]'s close limits from its own counters (close-reason
 //!   mix, occupancy, p99 queueing delay), keeping throughput near the
@@ -43,15 +48,19 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod admission;
 mod batch;
 mod model;
+mod samples;
 mod shared;
 mod transport;
 mod wire;
 
 pub use adaptive::{BatchTuner, TunerConfig, TunerTick};
+pub use admission::{AdmissionPolicy, IngestModel, DEFAULT_MAX_PENDING};
 pub use batch::{Batch, Batcher};
 pub use model::NetModel;
+pub use samples::SampleRing;
 pub use shared::{CloseReason, ClosedBatch, SharedBatcher, SharedBatcherStats, Submitted, Ticket};
 pub use transport::{duplex, ChannelTransport, TransportStats};
 pub use wire::{

@@ -1,0 +1,131 @@
+//! A bounded ring of recent samples for long-running statistics.
+//!
+//! Front-ends run indefinitely; any stats buffer that only *appends* is
+//! either unbounded or goes blind once full. [`SampleRing`] keeps the
+//! most recent `cap` samples by overwriting the oldest, so quantiles
+//! computed from a snapshot always describe *current* behaviour at any
+//! uptime — the property the [`BatchTuner`](crate::BatchTuner) windowed
+//! p99 and the admission latency tail both rely on.
+
+/// Default capacity for delay/latency rings: bounded memory (~2 MiB of
+/// `u64` worst case) while far exceeding any control window.
+pub(crate) const DELAY_SAMPLE_CAP: usize = 1 << 18;
+
+/// A fixed-capacity ring of the most recent `u64` samples.
+///
+/// Pushing past capacity overwrites the oldest sample;
+/// [`snapshot`](SampleRing::snapshot) returns the retained samples
+/// oldest-first, and [`seen`](SampleRing::seen) counts every sample ever
+/// pushed (so callers can window by count delta even across overwrites).
+#[derive(Debug, Clone)]
+pub struct SampleRing {
+    buf: Vec<u64>,
+    cap: usize,
+    next: usize,
+    seen: u64,
+}
+
+impl Default for SampleRing {
+    fn default() -> Self {
+        SampleRing::new(DELAY_SAMPLE_CAP)
+    }
+}
+
+impl SampleRing {
+    /// Creates a ring retaining the most recent `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "sample ring capacity must be nonzero");
+        SampleRing {
+            buf: Vec::new(),
+            cap,
+            next: 0,
+            seen: 0,
+        }
+    }
+
+    /// Records one sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: u64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.next] = sample;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.seen += 1;
+    }
+
+    /// Samples currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total samples ever pushed, including overwritten ones.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained samples, oldest first.
+    pub fn snapshot(&self) -> Vec<u64> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_keeping_most_recent() {
+        let mut ring = SampleRing::new(4);
+        assert!(ring.is_empty());
+        for v in 1..=3 {
+            ring.push(v);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 3);
+        assert_eq!(ring.snapshot(), vec![1, 2, 3]);
+        for v in 4..=10 {
+            ring.push(v);
+        }
+        assert_eq!(ring.len(), 4, "bounded at capacity");
+        assert_eq!(ring.seen(), 10, "seen counts overwrites");
+        assert_eq!(ring.snapshot(), vec![7, 8, 9, 10], "oldest first");
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_latest() {
+        let mut ring = SampleRing::new(1);
+        for v in 0..100 {
+            ring.push(v);
+            assert_eq!(ring.snapshot(), vec![v]);
+        }
+        assert_eq!(ring.seen(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = SampleRing::new(0);
+    }
+}

@@ -22,6 +22,15 @@
 //! ticket in it ([`Error::Unavailable`]) rather than leaving waiters
 //! blocked forever.
 //!
+//! Admission is bounded: every submission first passes the batcher's
+//! [`AdmissionPolicy`] (blocking backpressure by default; fail-fast
+//! shedding with [`Error::Overloaded`] and per-tenant quotas via
+//! [`SharedBatcher::with_admission`]), which limits *outstanding* work —
+//! queued plus dispatched-but-unanswered — so a stalled or saturated
+//! front-end can no longer grow its queue without bound. See
+//! [`AdmissionPolicy`] for the policy menu and
+//! [`SharedBatcher::submit_from`] for tenant-attributed submission.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,9 +57,8 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use shhc_types::{Error, Fingerprint, Result};
 
-/// Cap on retained queueing-delay samples, so a long-running front-end's
-/// stats stay bounded (~2 MiB worst case).
-const DELAY_SAMPLE_CAP: usize = 1 << 18;
+use crate::admission::{AdmissionGate, AdmissionPolicy, AdmissionToken, IngestBucket, IngestModel};
+use crate::samples::SampleRing;
 
 /// One-shot answer cell shared between a [`Ticket`] and its
 /// [`AnswerSlot`]: `None` until answered, then the final answer.
@@ -84,6 +92,9 @@ impl<V> Cell<V> {
 /// with [`Error::Unavailable`] so waiters never block forever.
 struct AnswerSlot<V> {
     cell: Option<Arc<Cell<V>>>,
+    /// The admission slot this submission holds; dropped (released, and
+    /// its admitted latency recorded) when the answer lands.
+    _token: Option<AdmissionToken>,
 }
 
 impl<V> AnswerSlot<V> {
@@ -91,6 +102,8 @@ impl<V> AnswerSlot<V> {
         if let Some(cell) = self.cell.take() {
             cell.fill(answer);
         }
+        // `self._token` drops here, releasing the admission slot only
+        // once the submission is actually answered.
     }
 }
 
@@ -202,7 +215,10 @@ pub enum CloseReason {
 pub struct ClosedBatch<V> {
     fingerprints: Vec<Fingerprint>,
     slots: Vec<AnswerSlot<V>>,
-    opened_at: Instant,
+    /// Enqueue time of the batch's oldest entry — the sole source for
+    /// [`queueing_delay`](ClosedBatch::queueing_delay), so a flush racing
+    /// a concurrent submit can never reset it.
+    first_submitted_at: Instant,
     closed_at: Instant,
     reason: CloseReason,
 }
@@ -229,9 +245,11 @@ impl<V> ClosedBatch<V> {
         self.reason
     }
 
-    /// How long the batch's oldest entry waited before release.
+    /// How long the batch's oldest entry waited before release (its own
+    /// enqueue time to the close, never a shared `opened_at` that a
+    /// concurrent flush could have reset).
     pub fn queueing_delay(&self) -> Duration {
-        self.closed_at - self.opened_at
+        self.closed_at - self.first_submitted_at
     }
 
     /// Answers every ticket: `answers[i]` resolves the ticket of
@@ -291,6 +309,10 @@ pub struct Submitted<V> {
     /// was empty) — the cue for timer-driven owners to re-arm their age
     /// alarm.
     pub opened: bool,
+    /// True when admission control shed this submission: the ticket is
+    /// already resolved with [`Error::Overloaded`] and nothing was
+    /// queued. Callers that can retry should back off first.
+    pub shed: bool,
 }
 
 /// One queued submission.
@@ -312,9 +334,9 @@ struct StatsAccum {
     delay_count: u64,
     delay_total_ns: u128,
     delay_max_ns: u64,
-    /// Per-fingerprint submit→close delays, capped at
-    /// [`DELAY_SAMPLE_CAP`] samples.
-    delay_samples_ns: Vec<u64>,
+    /// Ring of the most recent per-fingerprint submit→close delays, so
+    /// the windowed tail stays live at any uptime.
+    delay_samples: SampleRing,
 }
 
 /// Point-in-time snapshot of a [`SharedBatcher`]'s counters.
@@ -335,14 +357,37 @@ pub struct SharedBatcherStats {
     /// Fingerprints currently waiting.
     pub pending: usize,
     /// Per-fingerprint queueing delays recorded (may exceed the sample
-    /// vector length once the cap is hit).
+    /// vector length once the retention cap is hit).
     pub delay_count: u64,
     /// Sum of all recorded delays, in nanoseconds.
     pub delay_total_ns: u128,
     /// Largest recorded delay, in nanoseconds.
     pub delay_max_ns: u64,
-    /// Raw delay samples in nanoseconds (first [`DELAY_SAMPLE_CAP`]).
+    /// The most recent delay samples in nanoseconds, oldest first
+    /// (bounded ring — quantiles describe current behaviour, not the
+    /// first hours of uptime).
     pub delay_samples_ns: Vec<u64>,
+    /// Submissions admitted past the admission policy.
+    pub admitted: u64,
+    /// Submissions shed with [`Error::Overloaded`].
+    pub shed: u64,
+    /// Of the shed submissions, those denied by a per-tenant quota
+    /// rather than the global bound.
+    pub shed_by_tenant: u64,
+    /// Times a submission waited for admission (blocking policy or
+    /// ingest pacing).
+    pub blocked: u64,
+    /// Admitted submissions not yet answered (queued + in flight).
+    pub outstanding: usize,
+    /// Admitted-latency (admission → answer) observations recorded.
+    pub admitted_latency_count: u64,
+    /// Sum of recorded admitted latencies, in nanoseconds.
+    pub admitted_latency_total_ns: u128,
+    /// Largest recorded admitted latency, in nanoseconds.
+    pub admitted_latency_max_ns: u64,
+    /// The most recent admitted-latency samples in nanoseconds, oldest
+    /// first (bounded ring).
+    pub admitted_latency_samples_ns: Vec<u64>,
 }
 
 impl SharedBatcherStats {
@@ -387,12 +432,91 @@ impl SharedBatcherStats {
     pub fn p999(&self) -> Option<Duration> {
         self.delay_quantile(0.999)
     }
+
+    /// Fraction of submissions shed by admission control, `0.0` when
+    /// nothing was offered.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.admitted + self.shed;
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+
+    /// Mean admitted latency (admission → answer).
+    pub fn mean_admitted_latency(&self) -> Duration {
+        if self.admitted_latency_count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(
+                (self.admitted_latency_total_ns / u128::from(self.admitted_latency_count)) as u64,
+            )
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of recent admitted latencies, or
+    /// `None` with no samples.
+    pub fn admitted_latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.admitted_latency_samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.admitted_latency_samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_nanos(sorted[rank]))
+    }
+
+    /// The 99th-percentile admitted latency — the SLO signal the
+    /// overload bench reports for requests the system chose to serve.
+    pub fn admitted_p99(&self) -> Option<Duration> {
+        self.admitted_latency_quantile(0.99)
+    }
+
+    /// The 99.9th-percentile admitted latency.
+    pub fn admitted_p999(&self) -> Option<Duration> {
+        self.admitted_latency_quantile(0.999)
+    }
+
+    /// Merges per-front-end snapshots into one tier-wide view: counters
+    /// and sample sets sum/concatenate, maxima take the max — the
+    /// aggregation a [`FrontendTier`] reports for Figure 4's N
+    /// front-ends serving one cluster.
+    pub fn merge(snapshots: &[SharedBatcherStats]) -> SharedBatcherStats {
+        let mut out = SharedBatcherStats::default();
+        for s in snapshots {
+            out.batches += s.batches;
+            out.fingerprints += s.fingerprints;
+            out.closed_by_size += s.closed_by_size;
+            out.closed_by_age += s.closed_by_age;
+            out.closed_by_flush += s.closed_by_flush;
+            out.max_occupancy = out.max_occupancy.max(s.max_occupancy);
+            out.pending += s.pending;
+            out.delay_count += s.delay_count;
+            out.delay_total_ns += s.delay_total_ns;
+            out.delay_max_ns = out.delay_max_ns.max(s.delay_max_ns);
+            out.delay_samples_ns.extend_from_slice(&s.delay_samples_ns);
+            out.admitted += s.admitted;
+            out.shed += s.shed;
+            out.shed_by_tenant += s.shed_by_tenant;
+            out.blocked += s.blocked;
+            out.outstanding += s.outstanding;
+            out.admitted_latency_count += s.admitted_latency_count;
+            out.admitted_latency_total_ns += s.admitted_latency_total_ns;
+            out.admitted_latency_max_ns =
+                out.admitted_latency_max_ns.max(s.admitted_latency_max_ns);
+            out.admitted_latency_samples_ns
+                .extend_from_slice(&s.admitted_latency_samples_ns);
+        }
+        out
+    }
 }
 
-/// Inner queue state, under one mutex.
+/// Inner queue state, under one mutex. The batch's age derives from the
+/// first pending entry's own enqueue time — there is deliberately no
+/// shared `opened_at` a racing flush could reset.
 struct State<V> {
     pending: Vec<PendingEntry<V>>,
-    opened_at: Instant,
     stats: StatsAccum,
 }
 
@@ -415,24 +539,46 @@ pub struct SharedBatcher<V> {
     max_size: AtomicUsize,
     max_age_ns: AtomicU64,
     state: Mutex<State<V>>,
+    gate: Arc<AdmissionGate>,
+    /// Optional ingest-rate model (token bucket) standing in for the
+    /// front-end's client-facing CPU; checked before admission.
+    ingest: Option<StdMutex<IngestBucket>>,
 }
 
 impl<V> SharedBatcher<V> {
-    /// Creates an aggregator with the given size and age limits.
+    /// Creates an aggregator with the given size and age limits and the
+    /// default admission policy ([`AdmissionPolicy::default`]: blocking
+    /// backpressure at a generous bound).
     ///
     /// # Panics
     ///
     /// Panics if `max_size` is zero.
     pub fn new(max_size: usize, max_age: Duration) -> Self {
+        Self::with_admission(max_size, max_age, AdmissionPolicy::default(), None)
+    }
+
+    /// Creates an aggregator with an explicit [`AdmissionPolicy`] and an
+    /// optional [`IngestModel`] bounding the sustained submission rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn with_admission(
+        max_size: usize,
+        max_age: Duration,
+        policy: AdmissionPolicy,
+        ingest: Option<IngestModel>,
+    ) -> Self {
         assert!(max_size > 0, "batch size must be nonzero");
         SharedBatcher {
             max_size: AtomicUsize::new(max_size),
             max_age_ns: AtomicU64::new(Self::age_ns(max_age)),
             state: Mutex::new(State {
                 pending: Vec::new(),
-                opened_at: Instant::now(),
                 stats: StatsAccum::default(),
             }),
+            gate: AdmissionGate::new(policy),
+            ingest: ingest.map(|model| StdMutex::new(IngestBucket::new(model))),
         }
     }
 
@@ -457,8 +603,46 @@ impl<V> SharedBatcher<V> {
 
     /// Appends a fingerprint to the shared queue, returning its
     /// completion ticket plus the batch this submission closed (size or
-    /// age limit), if any.
+    /// age limit), if any. Equivalent to
+    /// [`submit_from`](SharedBatcher::submit_from) with no tenant.
     pub fn submit(&self, fingerprint: Fingerprint) -> Submitted<V> {
+        self.submit_from(None, fingerprint)
+    }
+
+    /// Appends a fingerprint on behalf of `tenant`, passing the
+    /// admission policy first. Under a shedding policy past its bound
+    /// (or the tenant's quota), nothing is queued: the returned ticket
+    /// is already resolved with [`Error::Overloaded`] and
+    /// [`Submitted::shed`] is set.
+    pub fn submit_from(&self, tenant: Option<u32>, fingerprint: Fingerprint) -> Submitted<V> {
+        // 1. Ingest-rate pacing: the front-end's client-facing CPU.
+        if let Some(bucket) = &self.ingest {
+            loop {
+                let taken = bucket
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .try_take(Instant::now());
+                match taken {
+                    Ok(()) => break,
+                    Err(_) if self.gate.policy().sheds() => {
+                        self.gate.note_shed();
+                        return Self::shed_submission(Error::overloaded(
+                            "front-end ingest rate exceeded",
+                        ));
+                    }
+                    Err(wait) => {
+                        self.gate.note_blocked();
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+        // 2. Occupancy admission: blocks or sheds per the policy.
+        let token = match self.gate.admit(tenant) {
+            Ok(token) => token,
+            Err(err) => return Self::shed_submission(err),
+        };
+        // 3. The queue proper.
         let now = Instant::now();
         let cell = Cell::new();
         let ticket = Ticket {
@@ -466,17 +650,18 @@ impl<V> SharedBatcher<V> {
         };
         let mut state = self.state.lock();
         let opened = state.pending.is_empty();
-        if opened {
-            state.opened_at = now;
-        }
         state.pending.push(PendingEntry {
             fingerprint,
-            slot: AnswerSlot { cell: Some(cell) },
+            slot: AnswerSlot {
+                cell: Some(cell),
+                _token: Some(token),
+            },
             submitted_at: now,
         });
+        let oldest = state.pending[0].submitted_at;
         let closed = if state.pending.len() >= self.max_size.load(Ordering::Relaxed) {
             Some(Self::close(&mut state, now, CloseReason::Size))
-        } else if now.duration_since(state.opened_at) >= self.max_age() {
+        } else if now.duration_since(oldest) >= self.max_age() {
             Some(Self::close(&mut state, now, CloseReason::Age))
         } else {
             None
@@ -486,6 +671,23 @@ impl<V> SharedBatcher<V> {
             ticket,
             closed,
             opened,
+            shed: false,
+        }
+    }
+
+    /// Builds the fail-fast result of a shed submission: a ticket that
+    /// is already resolved with `err`, nothing queued.
+    fn shed_submission(err: Error) -> Submitted<V> {
+        let cell = Cell::new();
+        let ticket = Ticket {
+            cell: Arc::clone(&cell),
+        };
+        cell.fill(Err(err));
+        Submitted {
+            ticket,
+            closed: None,
+            opened: false,
+            shed: true,
         }
     }
 
@@ -495,7 +697,11 @@ impl<V> SharedBatcher<V> {
     pub fn poll(&self) -> Option<ClosedBatch<V>> {
         let now = Instant::now();
         let mut state = self.state.lock();
-        if !state.pending.is_empty() && now.duration_since(state.opened_at) >= self.max_age() {
+        let stale = state
+            .pending
+            .first()
+            .is_some_and(|oldest| now.duration_since(oldest.submitted_at) >= self.max_age());
+        if stale {
             Some(Self::close(&mut state, now, CloseReason::Age))
         } else {
             None
@@ -517,15 +723,15 @@ impl<V> SharedBatcher<V> {
     /// the queue is empty) — what a flusher thread sleeps toward.
     pub fn next_deadline(&self) -> Option<Instant> {
         let state = self.state.lock();
-        if state.pending.is_empty() {
-            None
-        } else {
-            Some(state.opened_at + self.max_age())
-        }
+        state
+            .pending
+            .first()
+            .map(|oldest| oldest.submitted_at + self.max_age())
     }
 
     fn close(state: &mut State<V>, now: Instant, reason: CloseReason) -> ClosedBatch<V> {
         let entries = std::mem::take(&mut state.pending);
+        let first_submitted_at = entries.first().map(|e| e.submitted_at).unwrap_or(now);
         let mut fingerprints = Vec::with_capacity(entries.len());
         let mut slots = Vec::with_capacity(entries.len());
         let stats = &mut state.stats;
@@ -538,6 +744,9 @@ impl<V> SharedBatcher<V> {
             CloseReason::Flush => stats.closed_by_flush += 1,
         }
         for entry in entries {
+            // Each entry's delay is measured from its *own* enqueue time
+            // with the one shared close instant, so no sample can be
+            // negative or reach across a batch boundary.
             let delay_ns = now
                 .duration_since(entry.submitted_at)
                 .as_nanos()
@@ -545,16 +754,14 @@ impl<V> SharedBatcher<V> {
             stats.delay_count += 1;
             stats.delay_total_ns += u128::from(delay_ns);
             stats.delay_max_ns = stats.delay_max_ns.max(delay_ns);
-            if stats.delay_samples_ns.len() < DELAY_SAMPLE_CAP {
-                stats.delay_samples_ns.push(delay_ns);
-            }
+            stats.delay_samples.push(delay_ns);
             fingerprints.push(entry.fingerprint);
             slots.push(entry.slot);
         }
         ClosedBatch {
             fingerprints,
             slots,
-            opened_at: state.opened_at,
+            first_submitted_at,
             closed_at: now,
             reason,
         }
@@ -575,8 +782,22 @@ impl<V> SharedBatcher<V> {
         Duration::from_nanos(self.max_age_ns.load(Ordering::Relaxed))
     }
 
-    /// Snapshots the aggregation counters and delay distribution.
+    /// The batcher's admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.gate.policy()
+    }
+
+    /// Admitted submissions not yet answered (queued + dispatched) — the
+    /// windowed occupancy signal a load balancer compares, cheap enough
+    /// to read per submission.
+    pub fn outstanding(&self) -> usize {
+        self.gate.outstanding()
+    }
+
+    /// Snapshots the aggregation counters, delay distribution, and
+    /// admission counters.
     pub fn stats(&self) -> SharedBatcherStats {
+        let admission = self.gate.snapshot();
         let state = self.state.lock();
         let s = &state.stats;
         SharedBatcherStats {
@@ -590,8 +811,24 @@ impl<V> SharedBatcher<V> {
             delay_count: s.delay_count,
             delay_total_ns: s.delay_total_ns,
             delay_max_ns: s.delay_max_ns,
-            delay_samples_ns: s.delay_samples_ns.clone(),
+            delay_samples_ns: s.delay_samples.snapshot(),
+            admitted: admission.admitted,
+            shed: admission.shed,
+            shed_by_tenant: admission.shed_by_tenant,
+            blocked: admission.blocked,
+            outstanding: admission.outstanding,
+            admitted_latency_count: admission.latency_count,
+            admitted_latency_total_ns: admission.latency_total_ns,
+            admitted_latency_max_ns: admission.latency_max_ns,
+            admitted_latency_samples_ns: admission.latency_samples_ns,
         }
+    }
+
+    /// Shrinks the delay-sample ring so saturation behaviour is testable
+    /// without pushing 2^18 samples.
+    #[cfg(test)]
+    pub(crate) fn set_delay_sample_cap_for_test(&self, cap: usize) {
+        self.state.lock().stats.delay_samples = SampleRing::new(cap);
     }
 }
 
@@ -810,6 +1047,102 @@ mod tests {
                     }
                 }
             }
+
+            /// Queue-delay stats come solely from each entry's own
+            /// enqueue time: whatever mix of submits, polls and flushes
+            /// races over the queue, every recorded sample is bounded by
+            /// real elapsed time (a "negative" delay would wrap to an
+            /// astronomical u64), every batch's oldest-entry sample
+            /// equals exactly its reported `queueing_delay`, and no
+            /// sample reaches back across a batch boundary.
+            #[test]
+            fn delay_samples_are_per_entry_and_batch_local(
+                max_size in 1usize..6,
+                // 0..=2 submit, 3 flush, 4 poll (age limit is zero-ish
+                // via set_limits toggling below).
+                script in proptest::collection::vec(0u8..5, 1..80),
+            ) {
+                let batcher: SharedBatcher<u64> =
+                    SharedBatcher::new(max_size, Duration::from_secs(3600));
+                let started = Instant::now();
+                let mut tickets: Vec<Ticket<u64>> = Vec::new();
+                let mut seen_samples = 0usize;
+                let mut seq = 0u64;
+                let audit = |batch: ClosedBatch<u64>,
+                                 seen: &mut usize|
+                 -> std::result::Result<(), TestCaseError> {
+                    let stats = batcher.stats();
+                    let fresh = &stats.delay_samples_ns[*seen..];
+                    prop_assert_eq!(
+                        fresh.len(),
+                        batch.len(),
+                        "one sample per entry, recorded at close"
+                    );
+                    let bound = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    let batch_delay_ns =
+                        batch.queueing_delay().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    for window in fresh.windows(2) {
+                        prop_assert!(
+                            window[0] >= window[1],
+                            "arrival order makes per-batch samples non-increasing"
+                        );
+                    }
+                    for &sample in fresh {
+                        prop_assert!(sample <= bound, "no negative/wrapped delay");
+                        prop_assert!(
+                            sample <= batch_delay_ns,
+                            "no sample reaches across the batch boundary"
+                        );
+                    }
+                    prop_assert_eq!(
+                        fresh.first().copied(),
+                        Some(batch_delay_ns),
+                        "oldest entry's sample IS the batch's queueing delay"
+                    );
+                    *seen = stats.delay_samples_ns.len();
+                    let n = batch.len();
+                    batch.complete(vec![0; n]).map_err(|e| {
+                        TestCaseError::fail(format!("complete failed: {e}"))
+                    })?;
+                    Ok(())
+                };
+                for &op in &script {
+                    match op {
+                        0..=2 => {
+                            let s = batcher.submit(Fingerprint::from_u64(seq));
+                            seq += 1;
+                            tickets.push(s.ticket);
+                            if let Some(batch) = s.closed {
+                                audit(batch, &mut seen_samples)?;
+                            }
+                        }
+                        3 => {
+                            if let Some(batch) = batcher.flush() {
+                                audit(batch, &mut seen_samples)?;
+                            }
+                        }
+                        _ => {
+                            // A poll against a zero age limit releases
+                            // whatever is pending as an age close — the
+                            // racy path the per-entry fix covers.
+                            batcher.set_limits(max_size, Duration::ZERO);
+                            if let Some(batch) = batcher.poll() {
+                                audit(batch, &mut seen_samples)?;
+                            }
+                            batcher.set_limits(max_size, Duration::from_secs(3600));
+                        }
+                    }
+                }
+                if let Some(batch) = batcher.flush() {
+                    audit(batch, &mut seen_samples)?;
+                }
+                for ticket in tickets {
+                    prop_assert!(ticket.is_ready(), "ticket left unanswered");
+                    prop_assert_eq!(ticket.wait().map_err(|e| {
+                        TestCaseError::fail(format!("ticket failed: {e}"))
+                    })?, 0);
+                }
+            }
         }
     }
 
@@ -871,6 +1204,207 @@ mod tests {
         assert_eq!(batch.reason(), CloseReason::Age);
         batch.complete(vec![4]).unwrap();
         assert_eq!(s4.ticket.wait().unwrap(), 4);
+    }
+
+    #[test]
+    fn shed_submission_resolves_overloaded_immediately() {
+        let b: SharedBatcher<u64> = SharedBatcher::with_admission(
+            100,
+            Duration::from_secs(60),
+            AdmissionPolicy::Shed { max_pending: 2 },
+            None,
+        );
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        assert!(!s1.shed && !s2.shed);
+        let s3 = b.submit(fp(3));
+        assert!(s3.shed, "third submission past the bound is shed");
+        assert!(s3.closed.is_none() && !s3.opened);
+        assert!(
+            s3.ticket.is_ready(),
+            "a shed ticket is resolved at submit time — it can never hang"
+        );
+        let err = s3.ticket.wait().unwrap_err();
+        assert!(err.is_overload(), "{err}");
+        assert_eq!(b.pending_len(), 2, "nothing was queued for the shed");
+        let stats = b.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 1);
+        assert!((stats.shed_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outstanding_spans_dispatch_until_answered() {
+        let b: SharedBatcher<u64> = SharedBatcher::with_admission(
+            2,
+            Duration::from_secs(60),
+            AdmissionPolicy::Shed { max_pending: 2 },
+            None,
+        );
+        let s1 = b.submit(fp(1));
+        let s2 = b.submit(fp(2));
+        let batch = s2.closed.expect("size close");
+        // The batch left the queue but is unanswered: still outstanding,
+        // so admission keeps shedding — the bound covers in-flight work.
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.outstanding(), 2);
+        assert!(b.submit(fp(3)).shed, "in-flight work still holds tokens");
+        batch.complete(vec![10, 20]).unwrap();
+        assert_eq!(s1.ticket.wait().unwrap(), 10);
+        assert_eq!(s2.ticket.wait().unwrap(), 20);
+        assert_eq!(b.outstanding(), 0, "answers released the tokens");
+        assert!(!b.submit(fp(4)).shed, "capacity reopened");
+        let stats = b.stats();
+        assert_eq!(stats.admitted_latency_count, 2);
+        assert!(stats.admitted_p99().is_some());
+        assert!(stats.mean_admitted_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn block_policy_loses_nothing_under_producer_threads() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: u64 = 50;
+        // A tight bound (= the batch size) so producers really block on
+        // admission; whoever's submission closes a batch answers it
+        // inline, which releases the tokens that unblock the others.
+        let b: Arc<SharedBatcher<u64>> = Arc::new(SharedBatcher::with_admission(
+            2,
+            Duration::from_secs(60),
+            AdmissionPolicy::Block { max_pending: 2 },
+            None,
+        ));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..PER_PRODUCER {
+                    let s = b.submit(fp((p << 32) | i));
+                    assert!(!s.shed, "Block never sheds");
+                    if let Some(batch) = s.closed {
+                        let answers = batch.fingerprints().iter().map(|f| f.route_key()).collect();
+                        batch.complete(answers).unwrap();
+                    }
+                    tickets.push((fp((p << 32) | i), s.ticket));
+                }
+                tickets
+            }));
+        }
+        let tickets: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        if let Some(batch) = b.flush() {
+            let answers = batch.fingerprints().iter().map(|f| f.route_key()).collect();
+            batch.complete(answers).unwrap();
+        }
+        assert_eq!(tickets.len(), PRODUCERS * PER_PRODUCER as usize);
+        for (fingerprint, ticket) in tickets {
+            assert_eq!(
+                ticket.wait().unwrap(),
+                fingerprint.route_key(),
+                "every submission answered exactly once, with its own answer"
+            );
+        }
+        let stats = b.stats();
+        assert_eq!(stats.admitted, (PRODUCERS as u64) * PER_PRODUCER);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn fair_shed_isolates_tenants_in_the_queue() {
+        let b: SharedBatcher<u64> = SharedBatcher::with_admission(
+            100,
+            Duration::from_secs(60),
+            AdmissionPolicy::FairShed {
+                max_pending: 100,
+                per_tenant_quota: 2,
+            },
+            None,
+        );
+        let noisy: Vec<_> = (0..5).map(|i| b.submit_from(Some(1), fp(i))).collect();
+        assert_eq!(noisy.iter().filter(|s| s.shed).count(), 3, "quota is 2");
+        let quiet = b.submit_from(Some(2), fp(100));
+        assert!(!quiet.shed, "the quiet tenant is unaffected");
+        let stats = b.stats();
+        assert_eq!(stats.shed_by_tenant, 3);
+        let batch = b.flush().expect("three admitted entries");
+        assert_eq!(batch.len(), 3);
+        batch.complete(vec![0, 0, 0]).unwrap();
+        for s in noisy {
+            let answer = s.ticket.wait();
+            if s.shed {
+                assert!(answer.unwrap_err().is_overload());
+            } else {
+                assert_eq!(answer.unwrap(), 0);
+            }
+        }
+        assert_eq!(quiet.ticket.wait().unwrap(), 0);
+    }
+
+    #[test]
+    fn ingest_model_sheds_or_paces_by_policy() {
+        // Shedding policy + exhausted bucket: fail fast.
+        let b: SharedBatcher<u64> = SharedBatcher::with_admission(
+            100,
+            Duration::from_secs(60),
+            AdmissionPolicy::Shed { max_pending: 1000 },
+            Some(IngestModel {
+                rate_per_sec: 0.001,
+                burst: 2.0,
+            }),
+        );
+        assert!(!b.submit(fp(1)).shed);
+        assert!(!b.submit(fp(2)).shed);
+        let s = b.submit(fp(3));
+        assert!(s.shed, "bucket drained at ~zero refill rate");
+        assert!(s.ticket.wait().unwrap_err().is_overload());
+        // Blocking policy + fast bucket: pacing, not loss.
+        let b: SharedBatcher<u64> = SharedBatcher::with_admission(
+            100,
+            Duration::from_secs(60),
+            AdmissionPolicy::Block { max_pending: 1000 },
+            Some(IngestModel {
+                rate_per_sec: 2000.0,
+                burst: 1.0,
+            }),
+        );
+        let start = Instant::now();
+        for i in 0..5 {
+            assert!(!b.submit(fp(i)).shed);
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(2),
+            "submissions were paced to the ingest rate"
+        );
+        let batch = b.flush().unwrap();
+        let n = batch.len();
+        batch.complete(vec![0; n]).unwrap();
+    }
+
+    #[test]
+    fn merged_stats_sum_across_front_ends() {
+        let mk = |n: u64| {
+            let b: SharedBatcher<u64> = SharedBatcher::new(100, Duration::from_secs(60));
+            let tickets: Vec<_> = (0..n).map(|i| b.submit(fp(i)).ticket).collect();
+            let batch = b.flush().unwrap();
+            let len = batch.len();
+            batch.complete(vec![0; len]).unwrap();
+            for t in tickets {
+                let _ = t.wait();
+            }
+            b.stats()
+        };
+        let (a, b) = (mk(3), mk(5));
+        let merged = SharedBatcherStats::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.fingerprints, 8);
+        assert_eq!(merged.batches, 2);
+        assert_eq!(merged.admitted, 8);
+        assert_eq!(merged.delay_samples_ns.len(), 8);
+        assert_eq!(merged.admitted_latency_count, 8);
+        assert_eq!(merged.max_occupancy, a.max_occupancy.max(b.max_occupancy));
+        assert_eq!(merged.delay_max_ns, a.delay_max_ns.max(b.delay_max_ns));
     }
 
     #[test]

@@ -328,6 +328,12 @@ pub struct NodeStats {
     /// Virtual time spent replaying the WAL at recovery (also included
     /// in [`NodeStats::busy`]).
     pub recovery_busy: Nanos,
+    /// Peak depth observed on the node's inbound request queue (frames
+    /// waiting plus the one being served). The overload gauge: a node
+    /// keeping up hovers near 1; a saturated node's peak grows with the
+    /// burst it absorbed. Merged with `max`, not summed — it is a
+    /// high-water mark, not a counter.
+    pub queue_peak: u64,
 }
 
 impl NodeStats {
@@ -357,6 +363,7 @@ impl NodeStats {
             acc.recovery_replayed += p.recovery_replayed;
             acc.recovery_torn += p.recovery_torn;
             acc.recovery_busy += p.recovery_busy;
+            acc.queue_peak = acc.queue_peak.max(p.queue_peak);
             acc
         })
     }

@@ -33,6 +33,10 @@ pub enum Error {
     Io(String),
     /// Decoding a wire message or stored record failed.
     Decode(String),
+    /// The request was shed by admission control: the component is past
+    /// its configured capacity and chose to fail fast rather than queue
+    /// without bound. Retryable — the condition is load, not state.
+    Overloaded(String),
 }
 
 impl Error {
@@ -44,6 +48,17 @@ impl Error {
     /// Builds an [`Error::NotFound`] from anything displayable.
     pub fn not_found(msg: impl fmt::Display) -> Self {
         Error::NotFound(msg.to_string())
+    }
+
+    /// Builds an [`Error::Overloaded`] from anything displayable.
+    pub fn overloaded(msg: impl fmt::Display) -> Self {
+        Error::Overloaded(msg.to_string())
+    }
+
+    /// True for errors that describe a transient load condition rather
+    /// than a state problem — a caller may back off and retry.
+    pub fn is_overload(&self) -> bool {
+        matches!(self, Error::Overloaded(_))
     }
 }
 
@@ -58,6 +73,7 @@ impl fmt::Display for Error {
             Error::Unavailable(m) => write!(f, "unavailable: {m}"),
             Error::Io(m) => write!(f, "i/o error: {m}"),
             Error::Decode(m) => write!(f, "decode error: {m}"),
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -91,6 +107,10 @@ mod tests {
             Error::not_found("chunk-1.2").to_string(),
             "not found: chunk-1.2"
         );
+        let shed = Error::overloaded("front-end past 4096 pending");
+        assert_eq!(shed.to_string(), "overloaded: front-end past 4096 pending");
+        assert!(shed.is_overload());
+        assert!(!Error::not_found("x").is_overload());
     }
 
     #[test]

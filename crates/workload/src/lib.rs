@@ -16,6 +16,9 @@
 //! - [`mix`] — the "4 mixed workloads" stream used for Figures 5 and 6,
 //! - [`MultiClientSpec`] — K concurrent clients (disjoint shards, paced
 //!   open-loop arrivals) for the shared-front-end experiments,
+//! - [`OverloadSpec`] — open-loop overload populations: thousands of
+//!   simulated clients offering a fixed aggregate rate (past saturation)
+//!   on precomputed arrival schedules, for the admission-control benches,
 //! - [`OpMixSpec`] / [`split_op_mix`] — raw map-operation mixes for the
 //!   index-backend shootout bench,
 //! - [`SkewSpec`] / [`ZipfSampler`] — seeded Zipf / rotating hot-set
@@ -44,6 +47,7 @@ mod io;
 mod mixer;
 mod multi;
 mod opmix;
+mod overload;
 pub mod presets;
 mod skew;
 mod spread;
@@ -55,5 +59,6 @@ pub use io::{load_trace, save_trace};
 pub use mixer::mix;
 pub use multi::MultiClientSpec;
 pub use opmix::{split_op_mix, MapOp, OpMixSpec};
+pub use overload::{Arrival, OverloadSpec};
 pub use skew::{KeyMapping, SkewSpec, ZipfSampler};
 pub use spread::{spread_batches, spread_fingerprint};
