@@ -1,0 +1,460 @@
+//! Extension — restore at scale: the pipelined, batched, cache-polite
+//! read path against the sequential per-chunk baseline.
+//!
+//! Backup systems are judged on restore day. The sequential baseline
+//! replays a manifest one chunk at a time — one advisory fingerprint
+//! locate round-trip per chunk (paying the per-frame overhead every
+//! time), one store read per chunk, nothing overlapped. The pipelined
+//! path walks the manifest a window ahead: each batch's fingerprints go
+//! to the cluster as **one** [`Admission::Bypass`] query, its chunks
+//! come back as **one** `get_many`, and a prefetcher thread fetches
+//! batch N+1 while batch N is verified and assembled.
+//!
+//! Three measurements, all on clusters with realistic per-frame and
+//! per-op service time turned up:
+//! 1. K-client restore throughput, sequential vs pipelined (K swept),
+//!    plus a window-depth sweep at the largest K.
+//! 2. A mixed row: pipelined restores running against concurrent ingest
+//!    sessions on the same service (both throughputs reported).
+//! 3. Scan resistance: the ingest hot-set RAM hit rate with a full
+//!    Bypass restore churning concurrently, against the undisturbed
+//!    value.
+//!
+//! Expected: pipelined ≥ 2× sequential at the largest K, and the
+//! concurrent-restore hit rate ≥ 0.9× the undisturbed one. Emits
+//! `results/ext_restore.csv` plus `BENCH_restore.json` at the workspace
+//! root. Set `SHHC_RESTORE_QUICK=1` for a CI smoke run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use shhc::prelude::*;
+use shhc::{BackendKind, NodeConfig, RestoreConfig, ShhcCluster};
+use shhc_bench::{banner, restore_quick, write_bench_json, write_csv};
+use shhc_workload::RestoreSpec;
+
+struct Scenario {
+    nodes: u32,
+    client_counts: Vec<usize>,
+    /// Window-depth sweep at the largest client count.
+    window_sweep: Vec<usize>,
+    chunks_per_client: usize,
+    chunk_size: usize,
+    passes: usize,
+    batch: usize,
+    window: usize,
+    /// Per-frame node service overhead — what batching amortizes.
+    batch_overhead: Duration,
+    /// Per-fingerprint node service time.
+    service_delay: Duration,
+    /// Ingest sessions in the mixed row.
+    mixed_ingest_sessions: usize,
+    /// Hot-set re-ingest rounds in the scan-resistance measurement.
+    hitrate_rounds: usize,
+}
+
+type Svc = BackupService<FixedChunker, MemChunkStore>;
+
+fn spawn_service(scenario: &Scenario) -> Svc {
+    let mut node_config = NodeConfig::small_test();
+    node_config.flash = shhc_flash::FlashConfig::medium_test();
+    node_config.cache_capacity = 16_384;
+    node_config.bloom_expected = 500_000;
+    node_config.batch_overhead = scenario.batch_overhead;
+    node_config.service_delay = scenario.service_delay;
+    let cluster =
+        ShhcCluster::spawn(ClusterConfig::new(scenario.nodes, node_config)).expect("spawn cluster");
+    BackupService::new(
+        cluster,
+        FixedChunker::new(scenario.chunk_size),
+        MemChunkStore::new(8 << 20),
+        64,
+    )
+}
+
+struct Measured {
+    total_bytes: u64,
+    elapsed: Duration,
+    locate_coverage: f64,
+    degraded: bool,
+}
+
+impl Measured {
+    fn mbps(&self) -> f64 {
+        self.total_bytes as f64 / 1e6 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// K clients restore their manifests `passes` times, concurrently.
+/// Every pass is verified byte-exact against the client's payload.
+fn drive_restores(
+    svc: &Svc,
+    manifests: &[BackupManifest],
+    payloads: &[Vec<u8>],
+    passes: usize,
+    pipelined: bool,
+    config: RestoreConfig,
+) -> Measured {
+    let barrier = Arc::new(Barrier::new(manifests.len()));
+    let (bytes, coverage_sum, degraded, elapsed) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (manifest, payload) in manifests.iter().zip(payloads) {
+            let svc = svc.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                let mut bytes = 0u64;
+                let mut coverage = 0.0f64;
+                let mut degraded = false;
+                for _ in 0..passes {
+                    let report = if pipelined {
+                        svc.restore_pipelined_with(manifest, config)
+                    } else {
+                        svc.restore_with(manifest, config)
+                    }
+                    .expect("restore");
+                    assert_eq!(report.data, *payload, "restore must be byte-exact");
+                    bytes += report.bytes;
+                    coverage += report.locate_coverage();
+                    degraded |= report.degraded;
+                }
+                (bytes, coverage / passes as f64, degraded, start.elapsed())
+            }));
+        }
+        handles
+            .into_iter()
+            .fold((0u64, 0.0f64, false, Duration::ZERO), |(b, c, d, e), h| {
+                let (bytes, coverage, degraded, elapsed) = h.join().expect("restorer");
+                (b + bytes, c + coverage, d | degraded, e.max(elapsed))
+            })
+    });
+    Measured {
+        total_bytes: bytes,
+        elapsed,
+        locate_coverage: coverage_sum / manifests.len() as f64,
+        degraded,
+    }
+}
+
+/// Backs up the spec's payloads, returning (manifests, payloads).
+fn setup_backups(svc: &Svc, spec: &RestoreSpec) -> (Vec<BackupManifest>, Vec<Vec<u8>>) {
+    let payloads = spec.client_payloads();
+    let manifests = payloads
+        .iter()
+        .enumerate()
+        .map(|(c, data)| {
+            svc.backup(StreamId::new(c as u32), data)
+                .expect("backup")
+                .manifest
+        })
+        .collect();
+    (manifests, payloads)
+}
+
+/// The scan-resistance measurement: the ingest hot-set RAM hit ratio
+/// over `rounds` re-ingests, optionally with a full pipelined (Bypass)
+/// restore of a cache-busting cold archive looping concurrently.
+fn hot_set_hit_ratio(scenario: &Scenario, concurrent_restore: bool) -> f64 {
+    // Node shape pinned to the single backend: that is where the node
+    // cache serves queries (reader-pool nodes answer from mirrors).
+    // Service time stays zero here — this measures cache state, not
+    // wall clock.
+    let mut node_config = NodeConfig::small_test();
+    node_config.cache_capacity = 256;
+    node_config.backend = BackendKind::Single;
+    node_config.readers = 0;
+    let cluster =
+        ShhcCluster::spawn(ClusterConfig::new(scenario.nodes, node_config)).expect("spawn cluster");
+    let svc: Svc = BackupService::new(
+        cluster,
+        FixedChunker::new(scenario.chunk_size),
+        MemChunkStore::new(8 << 20),
+        64,
+    );
+
+    let cold = RestoreSpec::open_loop(1, 1024)
+        .with_chunk_size(scenario.chunk_size)
+        .with_redundancy(0.0)
+        .client_data(0);
+    let hot = RestoreSpec::open_loop(1, 64)
+        .with_chunk_size(scenario.chunk_size)
+        .with_redundancy(0.0)
+        .with_seed(0x401)
+        .client_data(0);
+    let cold_manifest = svc
+        .backup(StreamId::new(1), &cold)
+        .expect("backup")
+        .manifest;
+    svc.backup(StreamId::new(2), &hot).expect("backup");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ratio = std::thread::scope(|scope| {
+        if concurrent_restore {
+            let svc = svc.clone();
+            let stop = Arc::clone(&stop);
+            let cold = &cold;
+            let cold_manifest = &cold_manifest;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let restored = svc.restore_pipelined(cold_manifest).expect("restore");
+                    assert_eq!(&restored, cold);
+                }
+            });
+        }
+        for round in 0..scenario.hitrate_rounds {
+            svc.backup(StreamId::new(10 + round as u32), &hot)
+                .expect("backup");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let stats = svc.cluster().stats().expect("stats");
+        let (ram, ssd) = stats.nodes.iter().fold((0u64, 0u64), |(r, s), n| {
+            (r + n.stats.ram_hits, s + n.stats.ssd_hits)
+        });
+        ram as f64 / (ram + ssd).max(1) as f64
+    });
+    svc.cluster().clone().shutdown().expect("shutdown");
+    ratio
+}
+
+fn main() {
+    let quick = restore_quick();
+    let scenario = if quick {
+        Scenario {
+            nodes: 2,
+            client_counts: vec![2],
+            window_sweep: vec![2],
+            chunks_per_client: 48,
+            chunk_size: 1024,
+            passes: 1,
+            batch: 16,
+            window: 2,
+            batch_overhead: Duration::from_micros(40),
+            service_delay: Duration::from_nanos(100),
+            mixed_ingest_sessions: 1,
+            hitrate_rounds: 2,
+        }
+    } else {
+        Scenario {
+            nodes: 2,
+            client_counts: vec![1, 4, 8],
+            window_sweep: vec![1, 2, 4, 8],
+            chunks_per_client: 512,
+            chunk_size: 4096,
+            passes: 3,
+            batch: 64,
+            window: 4,
+            batch_overhead: Duration::from_micros(120),
+            service_delay: Duration::from_nanos(300),
+            mixed_ingest_sessions: 2,
+            hitrate_rounds: 5,
+        }
+    };
+    banner(
+        "Extension — restore at scale: pipelined read path with manifest-driven prefetch",
+        "batching the locate round-trips and overlapping fetch with assembly restores ≥2× \
+         faster than the per-chunk sequential replay, without flushing the ingest cache \
+         working set (Bypass admission)",
+    );
+    println!(
+        "mode: {}, {} nodes, {} chunks × {} B per client, {} passes, batch {}, window {}, \
+         {:?} per frame + {:?} per op\n",
+        if quick { "quick (CI smoke)" } else { "full" },
+        scenario.nodes,
+        scenario.chunks_per_client,
+        scenario.chunk_size,
+        scenario.passes,
+        scenario.batch,
+        scenario.window,
+        scenario.batch_overhead,
+        scenario.service_delay,
+    );
+
+    let config = RestoreConfig::new(scenario.batch, scenario.window);
+    let mut rows: Vec<String> = Vec::new();
+    let mut results_json: Vec<String> = Vec::new();
+    println!(
+        "{:>22} {:>8} {:>7} {:>7} {:>9} {:>11} {:>9} {:>8}",
+        "mode", "clients", "batch", "window", "MB", "elapsed_ms", "MB/s", "locate"
+    );
+    let mut record = |mode: &str, clients: usize, cfg: RestoreConfig, m: &Measured| {
+        println!(
+            "{mode:>22} {clients:>8} {:>7} {:>7} {:>9.1} {:>11.1} {:>9.1} {:>7.0}%",
+            cfg.batch,
+            cfg.window,
+            m.total_bytes as f64 / 1e6,
+            m.elapsed.as_secs_f64() * 1e3,
+            m.mbps(),
+            m.locate_coverage * 100.0,
+        );
+        rows.push(format!(
+            "{mode},{clients},{},{},{},{:.3},{:.2},{:.4},{}",
+            cfg.batch,
+            cfg.window,
+            m.total_bytes,
+            m.elapsed.as_secs_f64() * 1e3,
+            m.mbps(),
+            m.locate_coverage,
+            m.degraded,
+        ));
+        results_json.push(format!(
+            "    {{\"mode\": \"{mode}\", \"clients\": {clients}, \"batch\": {}, \
+             \"window\": {}, \"total_bytes\": {}, \"elapsed_ms\": {:.3}, \
+             \"mbps\": {:.2}, \"locate_coverage\": {:.4}}}",
+            cfg.batch,
+            cfg.window,
+            m.total_bytes,
+            m.elapsed.as_secs_f64() * 1e3,
+            m.mbps(),
+            m.locate_coverage,
+        ));
+    };
+
+    // 1. Client-count sweep: sequential vs pipelined on fresh clusters.
+    let mut speedup_at_max = 0.0f64;
+    let max_clients = scenario.client_counts.iter().copied().max().unwrap_or(1);
+    for &clients in &scenario.client_counts {
+        let spec = RestoreSpec::open_loop(clients, scenario.chunks_per_client)
+            .with_chunk_size(scenario.chunk_size);
+        let svc = spawn_service(&scenario);
+        let (manifests, payloads) = setup_backups(&svc, &spec);
+        let seq = drive_restores(&svc, &manifests, &payloads, scenario.passes, false, config);
+        record("sequential", clients, config, &seq);
+        let pipe = drive_restores(&svc, &manifests, &payloads, scenario.passes, true, config);
+        record("pipelined", clients, config, &pipe);
+        if clients == max_clients {
+            speedup_at_max = pipe.mbps() / seq.mbps().max(1e-9);
+            // Window-depth sweep on the same backed-up service.
+            for &window in &scenario.window_sweep {
+                if window == scenario.window {
+                    continue; // already measured above
+                }
+                let cfg = RestoreConfig::new(scenario.batch, window);
+                let m = drive_restores(&svc, &manifests, &payloads, scenario.passes, true, cfg);
+                record("pipelined", clients, cfg, &m);
+            }
+        }
+        svc.cluster().clone().shutdown().expect("shutdown");
+    }
+
+    // 2. Mixed row: pipelined restores against live ingest sessions.
+    {
+        let clients = scenario.client_counts.last().copied().unwrap_or(1);
+        let spec = RestoreSpec::open_loop(clients, scenario.chunks_per_client)
+            .with_chunk_size(scenario.chunk_size);
+        let svc = spawn_service(&scenario);
+        let (manifests, payloads) = setup_backups(&svc, &spec);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (restore_m, ingest_bytes, ingest_elapsed) = std::thread::scope(|scope| {
+            let mut ingest_handles = Vec::new();
+            for session in 0..scenario.mixed_ingest_sessions {
+                let svc = svc.clone();
+                let stop = Arc::clone(&stop);
+                let ingest_spec = RestoreSpec::open_loop(1, scenario.chunks_per_client / 2)
+                    .with_chunk_size(scenario.chunk_size)
+                    .with_seed(0xB0B0 + session as u64);
+                ingest_handles.push(scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut bytes = 0u64;
+                    let mut round = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let data = ingest_spec
+                            .clone()
+                            .with_seed(0xB0B0 + session as u64 + u64::from(round) * 131)
+                            .client_data(0);
+                        svc.backup(StreamId::new(500 + session as u32 * 100 + round), &data)
+                            .expect("mixed ingest backup");
+                        bytes += data.len() as u64;
+                        round += 1;
+                    }
+                    (bytes, start.elapsed())
+                }));
+            }
+            let m = drive_restores(&svc, &manifests, &payloads, scenario.passes, true, config);
+            stop.store(true, Ordering::Relaxed);
+            let (bytes, elapsed) =
+                ingest_handles
+                    .into_iter()
+                    .fold((0u64, Duration::ZERO), |(b, e), h| {
+                        let (bytes, elapsed) = h.join().expect("ingester");
+                        (b + bytes, e.max(elapsed))
+                    });
+            (m, bytes, elapsed)
+        });
+        record("mixed-restore", clients, config, &restore_m);
+        let ingest_m = Measured {
+            total_bytes: ingest_bytes,
+            elapsed: ingest_elapsed,
+            locate_coverage: 0.0,
+            degraded: false,
+        };
+        record(
+            "mixed-ingest",
+            scenario.mixed_ingest_sessions,
+            config,
+            &ingest_m,
+        );
+        svc.cluster().clone().shutdown().expect("shutdown");
+    }
+
+    // 3. Scan resistance: hot-set hit rate with and without a concurrent
+    // full restore.
+    let undisturbed = hot_set_hit_ratio(&scenario, false);
+    let with_restore = hot_set_hit_ratio(&scenario, true);
+    let hit_ratio_kept = with_restore / undisturbed.max(1e-9);
+    println!(
+        "\ningest hot-set RAM hit rate: undisturbed {:.3}, with concurrent Bypass restore \
+         {:.3} ({:.2}x)",
+        undisturbed, with_restore, hit_ratio_kept
+    );
+    rows.push(format!(
+        "hitrate-undisturbed,0,{},{},0,0,0,{undisturbed:.4},false",
+        scenario.batch, scenario.window
+    ));
+    rows.push(format!(
+        "hitrate-with-restore,0,{},{},0,0,0,{with_restore:.4},false",
+        scenario.batch, scenario.window
+    ));
+
+    println!("\nchecks:");
+    println!(
+        "  pipelined / sequential MB/s at {max_clients} clients = {speedup_at_max:.2}x \
+         (target ≥ 2.0x)"
+    );
+    println!("  hot-set hit rate with restore / undisturbed = {hit_ratio_kept:.2} (target ≥ 0.9)");
+
+    write_csv(
+        if quick {
+            "ext_restore_quick"
+        } else {
+            "ext_restore"
+        },
+        "mode,clients,batch,window,total_bytes,elapsed_ms,mbps,locate_coverage,degraded",
+        &rows,
+    );
+    if quick {
+        println!("quick mode: skipping BENCH_restore.json (full-run record)");
+        return;
+    }
+    write_bench_json(
+        "restore",
+        &format!(
+            "{{\n  \"bench\": \"ext_restore\",\n  \"quick\": {quick},\n  \"nodes\": {},\n  \
+             \"chunks_per_client\": {},\n  \"chunk_size\": {},\n  \"passes\": {},\n  \
+             \"batch_overhead_us\": {},\n  \"service_delay_ns\": {},\n  \"checks\": {{\n    \
+             \"pipelined_speedup_at_{max_clients}_clients\": {speedup_at_max:.3},\n    \
+             \"speedup_target\": 2.0,\n    \"hot_set_hit_rate_undisturbed\": {undisturbed:.4},\n    \
+             \"hot_set_hit_rate_with_restore\": {with_restore:.4},\n    \
+             \"hit_rate_kept\": {hit_ratio_kept:.4},\n    \"hit_rate_target\": 0.9\n  }},\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            scenario.nodes,
+            scenario.chunks_per_client,
+            scenario.chunk_size,
+            scenario.passes,
+            scenario.batch_overhead.as_micros(),
+            scenario.service_delay.as_nanos(),
+            results_json.join(",\n")
+        ),
+    );
+}

@@ -82,6 +82,12 @@ pub fn overload_quick() -> bool {
     env_flag("SHHC_OVERLOAD_QUICK")
 }
 
+/// Quick mode for the restore-at-scale bench (`SHHC_RESTORE_QUICK`):
+/// tiny payloads and client counts for a CI smoke run.
+pub fn restore_quick() -> bool {
+    env_flag("SHHC_RESTORE_QUICK")
+}
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name)
         .map(|v| !v.is_empty() && v != "0")

@@ -50,7 +50,7 @@ use parking_lot::{Mutex, RwLock};
 use shhc_net::{decode, encode, Frame};
 use shhc_node::{HybridHashNode, NodeConfig, ShardedNode};
 use shhc_ring::{MigrationPlan, RingView};
-use shhc_types::{Error, Fingerprint, FpHashMap, FpHashSet, NodeId, Result, StreamId};
+use shhc_types::{Admission, Error, Fingerprint, FpHashMap, FpHashSet, NodeId, Result, StreamId};
 
 use crate::server::{
     node_loop, sharded_node_loop, AutotuneOptions, AutotuneReport, ControlMsg, ControlReply,
@@ -730,7 +730,13 @@ impl ShhcCluster {
         // authoritative value re-recorded on the new owner (which just
         // inserted a placeholder).
         if let Some(migration) = &state.migration {
-            let repairs = self.dual_read_fallback(migration, fps, &mut exists, &mut values)?;
+            let repairs = self.dual_read_fallback(
+                migration,
+                fps,
+                Admission::Normal,
+                &mut exists,
+                &mut values,
+            )?;
             if !repairs.is_empty() {
                 self.record_batch(&repairs)?;
                 // Close the repair/delete race: a fingerprint tombstoned
@@ -762,6 +768,7 @@ impl ShhcCluster {
         &self,
         migration: &MigrationState,
         fps: &[Fingerprint],
+        admission: Admission,
         exists: &mut [bool],
         values: &mut [u64],
     ) -> Result<Vec<(Fingerprint, u64)>> {
@@ -789,6 +796,7 @@ impl ShhcCluster {
         for (old, positions) in by_old {
             let frame = Frame::QueryReq {
                 correlation: self.next_correlation(),
+                admission,
                 fingerprints: positions.iter().map(|&i| fps[i]).collect(),
             };
             match self.exchange(old, &frame) {
@@ -838,12 +846,31 @@ impl ShhcCluster {
     ///
     /// Same availability semantics as lookups.
     pub fn query_batch(&self, fps: &[Fingerprint]) -> Result<Vec<bool>> {
+        self.query_batch_values_with(fps, Admission::Normal)
+            .map(|(exists, _)| exists)
+    }
+
+    /// [`ShhcCluster::query_batch`] returning stored values alongside
+    /// existence, with an explicit cache-admission hint carried to the
+    /// answering nodes. Restore tags its manifest-locate sweeps
+    /// [`Admission::Bypass`] so they cannot flush the ingest working set
+    /// out of the node caches; answers are identical for both hints.
+    ///
+    /// # Errors
+    ///
+    /// Same availability semantics as lookups.
+    pub fn query_batch_values_with(
+        &self,
+        fps: &[Fingerprint],
+        admission: Admission,
+    ) -> Result<(Vec<bool>, Vec<u64>)> {
         let state = self.routing();
         let mut exists = vec![false; fps.len()];
         let mut values = vec![0u64; fps.len()];
         let mut groups = self.group_by_replicas(&state.view, fps);
         let make = |g: &mut RouteGroup, correlation: u64| Frame::QueryReq {
             correlation,
+            admission,
             fingerprints: std::mem::take(&mut g.fingerprints),
         };
         match self.inner.config.data_plane {
@@ -956,9 +983,9 @@ impl ShhcCluster {
         // Dual-read for misses inside in-flight migration ranges.
         // Queries are read-only: patch the answer, repair nothing.
         if let Some(migration) = &state.migration {
-            self.dual_read_fallback(migration, fps, &mut exists, &mut values)?;
+            self.dual_read_fallback(migration, fps, admission, &mut exists, &mut values)?;
         }
-        Ok(exists)
+        Ok((exists, values))
     }
 
     /// Associates storage-assigned values with fingerprints previously
@@ -1824,6 +1851,7 @@ impl ShhcCluster {
     ) -> Result<bool> {
         let probe = Frame::QueryReq {
             correlation: self.next_correlation(),
+            admission: Admission::Normal,
             fingerprints: page.iter().map(|(fp, _)| *fp).collect(),
         };
         let exists = match self.exchange(target, &probe) {

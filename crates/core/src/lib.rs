@@ -65,7 +65,7 @@ pub use cluster::{
 };
 pub use frontend::{Frontend, SyncFrontend};
 pub use server::{AutotuneOptions, AutotuneReport, NodeSnapshot};
-pub use service::{BackupReport, BackupService, DeleteReport};
+pub use service::{BackupReport, BackupService, DeleteReport, RestoreConfig, RestoreReport};
 pub use shared_frontend::{FrontendConfig, LookupAnswer, SharedFrontend};
 pub use simcluster::{SimCluster, SimClusterConfig, SimReport};
 pub use tier::FrontendTier;
@@ -86,13 +86,15 @@ pub use shhc_node::{
     load_imbalance, BackendKind, CachePolicy, EnergyModel, HybridHashNode, NodeConfig, NodeStats,
     ShardLoad, ShardRouter, ShardedNode,
 };
-pub use shhc_types::{ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Result, StreamId};
+pub use shhc_types::{
+    Admission, ChunkId, ClientId, Error, Fingerprint, Nanos, NodeId, Result, StreamId,
+};
 
 /// Commonly used imports for applications built on SHHC.
 pub mod prelude {
     pub use crate::{
         BackupReport, BackupService, ClusterConfig, Frontend, FrontendConfig, FrontendTier,
-        SharedFrontend, ShhcCluster, SimCluster, SimClusterConfig,
+        RestoreConfig, RestoreReport, SharedFrontend, ShhcCluster, SimCluster, SimClusterConfig,
     };
     pub use shhc_chunking::{Chunker, FixedChunker, GearChunker, RabinChunker};
     pub use shhc_node::{HybridHashNode, NodeConfig};

@@ -40,7 +40,7 @@ use shhc_node::{
     load_imbalance, merge_classified, Classified, HybridHashNode, NodeConfig, NodeStats, ShardLoad,
     ShardRouter, SubBatch, SubClassified,
 };
-use shhc_types::{Fingerprint, KeyRange, Nanos, NodeId};
+use shhc_types::{Admission, Fingerprint, KeyRange, Nanos, NodeId};
 
 /// A point-in-time view of one node's state, fetched over the control
 /// plane. For sharded nodes every counter is the across-shard aggregate.
@@ -345,30 +345,24 @@ fn handle_frame(node: &mut HybridHashNode, frame: &Bytes) -> Frame {
                 },
             }
         }
-        Frame::QueryReq { fingerprints, .. } => {
-            let mut exists = Vec::with_capacity(fingerprints.len());
-            let mut values = Vec::with_capacity(fingerprints.len());
-            for fp in fingerprints {
-                match node.query(fp) {
-                    Ok(r) => {
-                        exists.push(r.existed);
-                        values.push(r.value);
-                    }
-                    Err(e) => {
-                        return Frame::Error {
-                            correlation,
-                            message: e.to_string(),
-                        }
-                    }
+        Frame::QueryReq {
+            fingerprints,
+            admission,
+            ..
+        } => match node.query_many_with(&fingerprints, admission) {
+            Ok((exists, values)) => {
+                let values = compact_values(&exists, &values);
+                Frame::LookupResp {
+                    correlation,
+                    exists,
+                    values,
                 }
             }
-            let values = compact_values(&exists, &values);
-            Frame::LookupResp {
+            Err(e) => Frame::Error {
                 correlation,
-                exists,
-                values,
-            }
-        }
+                message: e.to_string(),
+            },
+        },
         Frame::RecordReq { pairs, .. } => {
             for (fp, value) in pairs {
                 if let Err(e) = node.record(fp, value) {
@@ -589,6 +583,7 @@ enum ShardWork {
     },
     Query {
         fps: Vec<Fingerprint>,
+        admission: Admission,
         delay: Duration,
     },
     Record {
@@ -1002,9 +997,13 @@ fn run_shard_work(shard: &mut HybridHashNode, work: ShardWork) -> ShardOutcome {
             Ok(()) => ShardOutcome::Acked,
             Err(e) => ShardOutcome::Failed(e.to_string()),
         },
-        ShardWork::Query { fps, delay } => {
+        ShardWork::Query {
+            fps,
+            admission,
+            delay,
+        } => {
             sleep_service(delay);
-            match shard.query_many(&fps) {
+            match shard.query_many_with(&fps, admission) {
                 Ok((exists, values)) => ShardOutcome::Answered { exists, values },
                 Err(e) => ShardOutcome::Failed(e.to_string()),
             }
@@ -1308,7 +1307,11 @@ fn dispatch_data(
                 });
             }
         }
-        Frame::QueryReq { fingerprints, .. } => {
+        Frame::QueryReq {
+            fingerprints,
+            admission,
+            ..
+        } => {
             // With a reader pool attached the whole read-only frame goes
             // to the shared pool queue: whichever reader is idle answers
             // it from the mirror indexes, and the shard workers (the
@@ -1355,6 +1358,7 @@ fn dispatch_data(
                     slot: k,
                     work: ShardWork::Query {
                         fps: sub_fps,
+                        admission,
                         delay,
                     },
                 });
@@ -1826,6 +1830,7 @@ mod tests {
             &tx,
             Frame::QueryReq {
                 correlation: 3,
+                admission: Admission::Normal,
                 fingerprints: vec![fp],
             },
         ) {
@@ -1913,6 +1918,7 @@ mod tests {
             &tx2,
             Frame::QueryReq {
                 correlation: 4,
+                admission: Admission::Bypass,
                 fingerprints: fps.clone(),
             },
         ) {
@@ -1989,6 +1995,7 @@ mod tests {
         both(&lookup(fps[..10].to_vec()));
         both(&|correlation| Frame::QueryReq {
             correlation,
+            admission: Admission::Normal,
             fingerprints: fps.clone(),
         });
         both(&|correlation| Frame::RecordReq {
@@ -2001,6 +2008,7 @@ mod tests {
         });
         both(&|correlation| Frame::QueryReq {
             correlation,
+            admission: Admission::Normal,
             fingerprints: fps.clone(),
         });
         both(&|correlation| Frame::Ping { correlation });
@@ -2097,6 +2105,7 @@ mod tests {
                 };
                 both(&|correlation| Frame::QueryReq {
                     correlation,
+                    admission: Admission::Normal,
                     fingerprints: fps.clone(),
                 });
                 both(&|correlation| Frame::LookupInsertReq {
@@ -2104,8 +2113,12 @@ mod tests {
                     stream: StreamId::new(0),
                     fingerprints: fps.clone(),
                 });
+                // Bypass must answer byte-identically to Normal on every
+                // dispatch path (single node, per-shard split, reader
+                // pool) — only the cache's recency state may differ.
                 both(&|correlation| Frame::QueryReq {
                     correlation,
+                    admission: Admission::Bypass,
                     fingerprints: fps.clone(),
                 });
                 both(&|correlation| Frame::RecordReq {
@@ -2120,10 +2133,12 @@ mod tests {
                 // were acked, so the pool must already see them gone.
                 both(&|correlation| Frame::QueryReq {
                     correlation,
+                    admission: Admission::Normal,
                     fingerprints: fps.clone(),
                 });
                 both(&|correlation| Frame::QueryReq {
                     correlation,
+                    admission: Admission::Normal,
                     fingerprints: Vec::new(),
                 });
                 let snap = node_stats(&pool_tx);

@@ -2,12 +2,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use shhc_chunking::Chunker;
-use shhc_storage::{restore, BackupManifest, ChunkStore};
-use shhc_types::{ChunkId, Fingerprint, Result, StreamId};
+use shhc_storage::{BackupManifest, ChunkStore};
+use shhc_types::{Admission, ChunkId, Error, Fingerprint, Result, StreamId};
 
 use crate::{FrontendTier, LookupAnswer, SharedFrontend, ShhcCluster};
 
@@ -37,6 +37,91 @@ pub struct DeleteReport {
     /// Chunks whose last reference was dropped (payload freed and
     /// fingerprint removed from the cluster).
     pub chunks_freed: usize,
+}
+
+/// Tuning for the restore read path.
+///
+/// `batch` is the number of manifest entries located and fetched per
+/// store-lock scope (both restore flavours release the chunk-store read
+/// lock between batches, so concurrent backup sessions' writers are never
+/// starved by a long replay). `window` is how many fetched batches the
+/// pipelined restore may hold ready ahead of assembly — the prefetcher
+/// blocks once it is that far ahead, bounding memory to
+/// `window × batch × chunk_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreConfig {
+    /// Manifest entries per locate/fetch batch (per lock scope).
+    pub batch: usize,
+    /// Fetched batches the prefetcher may run ahead of assembly
+    /// (pipelined restore only; the sequential path ignores it).
+    pub window: usize,
+}
+
+impl RestoreConfig {
+    /// Creates a config; both knobs must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `window` is zero.
+    pub fn new(batch: usize, window: usize) -> Self {
+        assert!(batch > 0, "restore batch must be nonzero");
+        assert!(window > 0, "restore window must be nonzero");
+        RestoreConfig { batch, window }
+    }
+}
+
+impl Default for RestoreConfig {
+    fn default() -> Self {
+        RestoreConfig {
+            batch: 64,
+            window: 4,
+        }
+    }
+}
+
+/// Outcome of one restore run: the reconstructed payload plus the
+/// advisory cluster-locate audit that rode along with it.
+///
+/// Restores always fetch data by the manifest's own chunk ids (that is
+/// what keeps them byte-exact even when the fingerprint index has
+/// drifted); the locate counters report how much of the manifest the
+/// cluster could still find, which is the paper's read-path health
+/// signal.
+#[derive(Debug, Clone)]
+pub struct RestoreReport {
+    /// The reconstructed backup payload.
+    pub data: Vec<u8>,
+    /// Manifest entries replayed.
+    pub chunks: usize,
+    /// Bytes reconstructed (equals `data.len()`).
+    pub bytes: u64,
+    /// Entries the cluster index located (advisory query answered
+    /// "exists").
+    pub located: usize,
+    /// Entries the cluster index could *not* locate — index drift, e.g.
+    /// a fingerprint removed by a concurrent delete. The data was still
+    /// restored from the manifest's chunk id.
+    pub mismatched: usize,
+    /// Advisory locates skipped after the cluster path degraded.
+    pub skipped: usize,
+    /// True when an advisory locate failed (e.g. a dead node): further
+    /// locates were skipped so a broken index costs at most one failed
+    /// round-trip, and the restore carried on from storage alone.
+    pub degraded: bool,
+    /// Wall-clock time for the whole replay.
+    pub duration: Duration,
+}
+
+impl RestoreReport {
+    /// Fraction of manifest entries the cluster index located (1.0 for
+    /// an empty manifest — nothing was missing).
+    pub fn locate_coverage(&self) -> f64 {
+        if self.chunks == 0 {
+            1.0
+        } else {
+            self.located as f64 / self.chunks as f64
+        }
+    }
 }
 
 /// Outcome of one backup run.
@@ -415,12 +500,240 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
 
     /// Reconstructs a backup from its manifest, verifying every chunk.
     ///
+    /// Equivalent to [`restore_with`](Self::restore_with) under the
+    /// default [`RestoreConfig`], returning just the payload.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors; corruption and missing chunks are
     /// detected.
     pub fn restore(&self, manifest: &BackupManifest) -> Result<Vec<u8>> {
-        restore(&*self.inner.store.read(), manifest)
+        self.restore_with(manifest, RestoreConfig::default())
+            .map(|r| r.data)
+    }
+
+    /// Sequential restore: replays the manifest one entry at a time,
+    /// asking the cluster where each fingerprint lives (one locate
+    /// round-trip per chunk — the pre-batching read path, kept as the
+    /// measured baseline for
+    /// [`restore_pipelined_with`](Self::restore_pipelined_with)) and
+    /// fetching/verifying each chunk from the store.
+    ///
+    /// The store read lock is taken per `config.batch` entries, never for
+    /// the whole replay, so concurrent backup sessions' writes interleave
+    /// with a long restore instead of queueing behind it.
+    ///
+    /// The cluster locates are advisory (see [`RestoreReport`]): their
+    /// answers are audited, but data is always fetched by the manifest's
+    /// chunk id, and a failing cluster degrades the audit rather than the
+    /// restore.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotFound`] if a referenced chunk is gone,
+    /// [`Error::Corruption`] if a chunk's payload or length no longer
+    /// matches the manifest. Cluster failures never error the restore.
+    pub fn restore_with(
+        &self,
+        manifest: &BackupManifest,
+        config: RestoreConfig,
+    ) -> Result<RestoreReport> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(manifest.logical_bytes() as usize);
+        let mut located = 0usize;
+        let mut mismatched = 0usize;
+        let mut skipped = 0usize;
+        let mut degraded = false;
+        for (w, window) in manifest.entries.chunks(config.batch.max(1)).enumerate() {
+            for entry in window {
+                if degraded {
+                    skipped += 1;
+                    continue;
+                }
+                match self.cluster().query_batch_values_with(
+                    std::slice::from_ref(&entry.fingerprint),
+                    {
+                        // The paper's client restore path reads through
+                        // the index like any other lookup; only the
+                        // batched prefetcher marks itself a scan.
+                        Admission::Normal
+                    },
+                ) {
+                    Ok((exists, _)) if exists.first().copied().unwrap_or(false) => located += 1,
+                    Ok(_) => mismatched += 1,
+                    Err(_) => {
+                        degraded = true;
+                        skipped += 1;
+                    }
+                }
+            }
+            let store = self.inner.store.read();
+            for (j, entry) in window.iter().enumerate() {
+                let i = w * config.batch.max(1) + j;
+                let data = store.get(entry.chunk)?;
+                verify_entry(i, entry, data.len(), store.fingerprint_of(entry.chunk)?)?;
+                out.extend_from_slice(&data);
+            }
+        }
+        Ok(RestoreReport {
+            chunks: manifest.len(),
+            bytes: out.len() as u64,
+            data: out,
+            located,
+            mismatched,
+            skipped,
+            degraded,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Pipelined restore under the default [`RestoreConfig`], returning
+    /// just the payload. See
+    /// [`restore_pipelined_with`](Self::restore_pipelined_with).
+    ///
+    /// # Errors
+    ///
+    /// As [`restore_with`](Self::restore_with); the two flavours are
+    /// byte-exact equivalents.
+    pub fn restore_pipelined(&self, manifest: &BackupManifest) -> Result<Vec<u8>>
+    where
+        C: Send + Sync,
+        S: Send + Sync,
+    {
+        self.restore_pipelined_with(manifest, RestoreConfig::default())
+            .map(|r| r.data)
+    }
+
+    /// Pipelined restore: a prefetcher thread walks the manifest up to
+    /// `config.window` batches ahead of assembly, locating each batch's
+    /// fingerprints in the cluster as **one** batched query and fetching
+    /// its chunks as **one** [`ChunkStore::get_many`] call, while this
+    /// thread verifies and assembles the previous batch — fetch of batch
+    /// N+1 overlaps assembly of batch N.
+    ///
+    /// The locate queries are sent with [`Admission::Bypass`]: a full
+    /// restore is a scan, and it must not evict the ingest working set
+    /// from the nodes' RAM caches (answers are byte-identical to normal
+    /// queries; only cache recency differs). As in
+    /// [`restore_with`](Self::restore_with), locates are advisory, the
+    /// store read lock is scoped per batch, and data always comes from
+    /// the manifest's own chunk ids.
+    ///
+    /// # Errors
+    ///
+    /// As [`restore_with`](Self::restore_with): storage errors propagate,
+    /// cluster failures only degrade the locate audit.
+    pub fn restore_pipelined_with(
+        &self,
+        manifest: &BackupManifest,
+        config: RestoreConfig,
+    ) -> Result<RestoreReport>
+    where
+        C: Send + Sync,
+        S: Send + Sync,
+    {
+        struct Prefetched {
+            /// Index of the batch's first entry in the manifest.
+            start: usize,
+            blobs: Vec<Vec<u8>>,
+            stored_fps: Vec<Fingerprint>,
+            located: usize,
+            mismatched: usize,
+            skipped: usize,
+            degraded: bool,
+        }
+
+        let start_time = Instant::now();
+        let batch_size = config.batch.max(1);
+        let entries = &manifest.entries;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Result<Prefetched>>(config.window.max(1));
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut degraded = false;
+                for (w, batch) in entries.chunks(batch_size).enumerate() {
+                    let (located, mismatched, skipped) = if degraded {
+                        (0, 0, batch.len())
+                    } else {
+                        let fps: Vec<Fingerprint> = batch.iter().map(|e| e.fingerprint).collect();
+                        match self
+                            .cluster()
+                            .query_batch_values_with(&fps, Admission::Bypass)
+                        {
+                            Ok((exists, _)) => {
+                                let hits = exists.iter().filter(|e| **e).count();
+                                (hits, exists.len() - hits, 0)
+                            }
+                            Err(_) => {
+                                degraded = true;
+                                (0, 0, batch.len())
+                            }
+                        }
+                    };
+                    let fetched = {
+                        // Lock scope: one batch. Writers get in between
+                        // batches, and the guard drops before the
+                        // (potentially blocking) channel send below.
+                        let store = self.inner.store.read();
+                        let ids: Vec<ChunkId> = batch.iter().map(|e| e.chunk).collect();
+                        store.get_many(&ids).and_then(|blobs| {
+                            let stored_fps = ids
+                                .iter()
+                                .map(|&id| store.fingerprint_of(id))
+                                .collect::<Result<Vec<_>>>()?;
+                            Ok((blobs, stored_fps))
+                        })
+                    };
+                    let failed = fetched.is_err();
+                    let msg = fetched.map(|(blobs, stored_fps)| Prefetched {
+                        start: w * batch_size,
+                        blobs,
+                        stored_fps,
+                        located,
+                        mismatched,
+                        skipped,
+                        degraded,
+                    });
+                    // A send error means the assembler bailed (storage
+                    // error on an earlier batch) and hung up; either way
+                    // there is nothing useful left to prefetch.
+                    if tx.send(msg).is_err() || failed {
+                        break;
+                    }
+                }
+            });
+
+            let mut out = Vec::with_capacity(manifest.logical_bytes() as usize);
+            let mut located = 0usize;
+            let mut mismatched = 0usize;
+            let mut skipped = 0usize;
+            let mut degraded = false;
+            // Dropping `rx` on an early `?` return unblocks a prefetcher
+            // parked on a full channel, so the scope join cannot deadlock.
+            for msg in rx {
+                let batch = msg?;
+                located += batch.located;
+                mismatched += batch.mismatched;
+                skipped += batch.skipped;
+                degraded |= batch.degraded;
+                for (j, (blob, stored_fp)) in batch.blobs.iter().zip(&batch.stored_fps).enumerate()
+                {
+                    let i = batch.start + j;
+                    verify_entry(i, &entries[i], blob.len(), *stored_fp)?;
+                    out.extend_from_slice(blob);
+                }
+            }
+            Ok(RestoreReport {
+                chunks: manifest.len(),
+                bytes: out.len() as u64,
+                data: out,
+                located,
+                mismatched,
+                skipped,
+                degraded,
+                duration: start_time.elapsed(),
+            })
+        })
     }
 
     /// Consumes the service, returning the store (e.g. to inspect
@@ -435,6 +748,30 @@ impl<C: Chunker, S: ChunkStore> BackupService<C, S> {
             Err(_) => panic!("into_store with other service handles alive"),
         }
     }
+}
+
+/// Checks one replayed chunk against its manifest entry (length and
+/// stored fingerprint), with the same error shape for both restore
+/// flavours — the byte-exact-equivalence tests compare error text too.
+fn verify_entry(
+    i: usize,
+    entry: &shhc_storage::ManifestEntry,
+    len: usize,
+    stored_fp: Fingerprint,
+) -> Result<()> {
+    if len != entry.len as usize {
+        return Err(Error::Corruption(format!(
+            "manifest entry {i}: length {} but stored chunk has {}",
+            entry.len, len
+        )));
+    }
+    if stored_fp != entry.fingerprint {
+        return Err(Error::Corruption(format!(
+            "manifest entry {i}: fingerprint mismatch (chunk {} holds different content)",
+            entry.chunk
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

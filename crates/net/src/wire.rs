@@ -1,7 +1,7 @@
 //! Length-prefixed, versioned wire format.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use shhc_types::{Error, Fingerprint, KeyRange, Result, StreamId, FINGERPRINT_LEN};
+use shhc_types::{Admission, Error, Fingerprint, KeyRange, Result, StreamId, FINGERPRINT_LEN};
 
 /// Wire protocol version byte; bump on incompatible layout changes.
 pub const WIRE_VERSION: u8 = 1;
@@ -37,6 +37,10 @@ pub enum Frame {
     QueryReq {
         /// Request/response correlation id.
         correlation: u64,
+        /// How the answering node may cache what this query reads:
+        /// [`Admission::Bypass`] marks one-pass scans (restore) whose
+        /// results must not displace the ingest working set.
+        admission: Admission,
         /// The batched fingerprints.
         fingerprints: Vec<Fingerprint>,
     },
@@ -192,10 +196,12 @@ pub fn encode_into(frame: &Frame, buf: &mut BytesMut) {
         }
         Frame::QueryReq {
             correlation,
+            admission,
             fingerprints,
         } => {
             buf.put_u8(TAG_QUERY_REQ);
             buf.put_u64_le(*correlation);
+            buf.put_u8(admission.to_wire());
             buf.put_u32_le(fingerprints.len() as u32);
             for fp in fingerprints {
                 buf.put_slice(fp.as_bytes());
@@ -331,7 +337,7 @@ pub fn encoded_len(frame: &Frame) -> usize {
                 1 + 8 + 4 + 4 + fingerprints.len() * FINGERPRINT_LEN
             }
             Frame::QueryReq { fingerprints, .. } => {
-                1 + 8 + 4 + fingerprints.len() * FINGERPRINT_LEN
+                1 + 8 + 1 + 4 + fingerprints.len() * FINGERPRINT_LEN
             }
             Frame::LookupResp { exists, values, .. } => {
                 1 + 8 + 4 + exists.len().div_ceil(8) + values.len() * 8
@@ -417,12 +423,14 @@ pub fn decode(bytes: &[u8]) -> Result<Frame> {
             })
         }
         TAG_QUERY_REQ => {
-            need(&buf, 4)?;
+            need(&buf, 1 + 4)?;
+            let admission = Admission::from_wire(buf.get_u8())?;
             let n = buf.get_u32_le() as usize;
             need(&buf, n * FINGERPRINT_LEN)?;
             let fingerprints = read_fps(&mut buf, n);
             Ok(Frame::QueryReq {
                 correlation,
+                admission,
                 fingerprints,
             })
         }
@@ -573,7 +581,13 @@ mod tests {
             },
             Frame::QueryReq {
                 correlation: 2,
+                admission: Admission::Normal,
                 fingerprints: vec![],
+            },
+            Frame::QueryReq {
+                correlation: 15,
+                admission: Admission::Bypass,
+                fingerprints: (20..24).map(Fingerprint::from_u64).collect(),
             },
             Frame::LookupResp {
                 correlation: 3,

@@ -96,6 +96,21 @@ pub trait ChunkStore {
     /// [`shhc_types::Error::NotFound`] for an unknown id.
     fn release(&mut self, id: ChunkId) -> Result<u32>;
 
+    /// Fetches a window of chunk payloads in one pass, each verified
+    /// against its fingerprint exactly as [`ChunkStore::get`] does.
+    /// Results are returned in `ids` order. The default issues one `get`
+    /// per id; backends override it to amortize index probes and
+    /// container opens across the window (the restore read path fetches
+    /// whole windows through this).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::get`]: the first unknown or corrupt chunk fails
+    /// the whole window.
+    fn get_many(&self, ids: &[ChunkId]) -> Result<Vec<Vec<u8>>> {
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+
     /// Current store statistics.
     fn stats(&self) -> StoreStats;
 }

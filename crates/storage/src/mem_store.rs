@@ -126,6 +126,23 @@ impl ChunkStore for MemChunkStore {
         Ok(chunk.data.clone())
     }
 
+    /// One verified pass over the window; resolving the slab slot once
+    /// per id is the whole cost, so this mainly pins the `get_many`
+    /// ordering contract for the backends where batching does matter.
+    fn get_many(&self, ids: &[ChunkId]) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let chunk = self.chunk(id)?;
+            if fingerprint_of(&chunk.data) != chunk.fingerprint {
+                return Err(Error::Corruption(format!(
+                    "chunk {id} payload does not match its fingerprint"
+                )));
+            }
+            out.push(chunk.data.clone());
+        }
+        Ok(out)
+    }
+
     fn fingerprint_of(&self, id: ChunkId) -> Result<Fingerprint> {
         Ok(self.chunk(id)?.fingerprint)
     }
@@ -200,6 +217,26 @@ mod tests {
         let mut store = MemChunkStore::new(4);
         let id = put_str(&mut store, b"way too big for one container");
         assert_eq!(store.get(id).unwrap(), b"way too big for one container");
+    }
+
+    #[test]
+    fn get_many_returns_request_order() {
+        let mut store = MemChunkStore::new(16);
+        let a = put_str(&mut store, b"alpha");
+        let b = put_str(&mut store, b"bravo");
+        let c = put_str(&mut store, b"charlie");
+        let got = store.get_many(&[c, a, b, a]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                b"charlie".to_vec(),
+                b"alpha".to_vec(),
+                b"bravo".to_vec(),
+                b"alpha".to_vec(),
+            ]
+        );
+        store.release(b).unwrap();
+        assert!(matches!(store.get_many(&[a, b]), Err(Error::NotFound(_))));
     }
 
     #[test]

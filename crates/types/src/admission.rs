@@ -1,0 +1,79 @@
+//! Cache-admission hints carried by read requests.
+
+use crate::Error;
+
+/// How a read's results may enter the RAM caches along its path.
+///
+/// Backup ingest wants every lookup cached: the next window of the same
+/// stream re-references recent fingerprints (duplicate locality). A
+/// streaming restore is the opposite — a one-pass scan over a manifest
+/// that will never re-reference what it reads, and left unchecked it
+/// evicts the ingest working set chunk by chunk. Restore-tagged reads
+/// therefore carry [`Admission::Bypass`], which the cache layer maps to
+/// probationary-only (scan-resistant) insertion.
+///
+/// # Examples
+///
+/// ```
+/// use shhc_types::Admission;
+///
+/// let wire = Admission::Bypass.to_wire();
+/// assert_eq!(Admission::from_wire(wire).unwrap(), Admission::Bypass);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Admission {
+    /// Full cache admission with recency promotion (ingest reads).
+    #[default]
+    Normal,
+    /// Scan-resistant admission: results may only enter the cache's
+    /// probationary tier and never promote or displace protected
+    /// entries (restore / one-pass scan reads).
+    Bypass,
+}
+
+impl Admission {
+    /// Wire encoding (a single byte).
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Admission::Normal => 0,
+            Admission::Bypass => 1,
+        }
+    }
+
+    /// Decodes a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Decode`] on an unknown admission byte.
+    pub fn from_wire(byte: u8) -> Result<Self, Error> {
+        match byte {
+            0 => Ok(Admission::Normal),
+            1 => Ok(Admission::Bypass),
+            other => Err(Error::Decode(format!("unknown admission byte {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for adm in [Admission::Normal, Admission::Bypass] {
+            assert_eq!(Admission::from_wire(adm.to_wire()).unwrap(), adm);
+        }
+    }
+
+    #[test]
+    fn unknown_byte_rejected() {
+        assert!(Admission::from_wire(2).is_err());
+        assert!(Admission::from_wire(0xFF).is_err());
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Admission::default(), Admission::Normal);
+    }
+}

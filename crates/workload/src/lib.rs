@@ -49,6 +49,7 @@ mod multi;
 mod opmix;
 mod overload;
 pub mod presets;
+mod restore;
 mod skew;
 mod spread;
 
@@ -60,5 +61,6 @@ pub use mixer::mix;
 pub use multi::MultiClientSpec;
 pub use opmix::{split_op_mix, MapOp, OpMixSpec};
 pub use overload::{Arrival, OverloadSpec};
+pub use restore::RestoreSpec;
 pub use skew::{KeyMapping, SkewSpec, ZipfSampler};
 pub use spread::{spread_batches, spread_fingerprint};

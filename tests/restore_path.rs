@@ -1,0 +1,346 @@
+//! The restore read path: sequential and pipelined replays must be
+//! byte-exact equivalents on both cluster data planes, restores must not
+//! starve concurrent backup writers or flush their cache working set,
+//! and a failing fingerprint index must only degrade the locate audit —
+//! never the restored bytes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use shhc::prelude::*;
+use shhc::{BackendKind, DataPlane, NodeId, RestoreConfig};
+use shhc_storage::{ChunkStore, StoreStats};
+use shhc_types::{ChunkId, Result as ShhcResult};
+use shhc_workload::RestoreSpec;
+
+fn service_on(plane: DataPlane, nodes: u32) -> BackupService<FixedChunker, MemChunkStore> {
+    let cluster =
+        ShhcCluster::spawn(ClusterConfig::small_test(nodes).with_data_plane(plane)).unwrap();
+    BackupService::new(
+        cluster,
+        FixedChunker::new(256),
+        MemChunkStore::new(1 << 20),
+        32,
+    )
+}
+
+#[test]
+fn restore_flavours_are_byte_exact_on_both_data_planes() {
+    let spec = RestoreSpec::open_loop(1, 120).with_chunk_size(256);
+    let data = spec.client_data(0);
+    for plane in [DataPlane::Sequential, DataPlane::Pipelined] {
+        let svc = service_on(plane, 2);
+        let report = svc.backup(StreamId::new(1), &data).unwrap();
+
+        let sequential = svc
+            .restore_with(&report.manifest, RestoreConfig::new(7, 2))
+            .unwrap();
+        let pipelined = svc
+            .restore_pipelined_with(&report.manifest, RestoreConfig::new(7, 2))
+            .unwrap();
+        assert_eq!(sequential.data, data, "sequential restore ({plane:?})");
+        assert_eq!(pipelined.data, data, "pipelined restore ({plane:?})");
+        assert_eq!(svc.restore(&report.manifest).unwrap(), data);
+        assert_eq!(svc.restore_pipelined(&report.manifest).unwrap(), data);
+
+        // Every fingerprint was recorded at backup time, so the advisory
+        // locate audit finds the whole manifest on both paths.
+        for r in [&sequential, &pipelined] {
+            assert_eq!(r.chunks, report.manifest.len());
+            assert_eq!(r.bytes, data.len() as u64);
+            assert_eq!(r.located, r.chunks, "full locate coverage ({plane:?})");
+            assert_eq!(r.mismatched, 0);
+            assert_eq!(r.skipped, 0);
+            assert!(!r.degraded);
+            assert!((r.locate_coverage() - 1.0).abs() < 1e-12);
+        }
+        svc.cluster().clone().shutdown().unwrap();
+    }
+}
+
+#[test]
+fn odd_batch_and_window_shapes_stay_byte_exact() {
+    let svc = service_on(DataPlane::Pipelined, 2);
+    let spec = RestoreSpec::open_loop(1, 33).with_chunk_size(256);
+    let data = spec.client_data(0);
+    let report = svc.backup(StreamId::new(9), &data).unwrap();
+    for (batch, window) in [(1, 1), (2, 5), (33, 1), (64, 4), (5, 16)] {
+        let config = RestoreConfig::new(batch, window);
+        assert_eq!(
+            svc.restore_with(&report.manifest, config).unwrap().data,
+            data,
+            "sequential batch={batch} window={window}"
+        );
+        assert_eq!(
+            svc.restore_pipelined_with(&report.manifest, config)
+                .unwrap()
+                .data,
+            data,
+            "pipelined batch={batch} window={window}"
+        );
+    }
+    // An empty manifest restores to nothing on both paths.
+    let empty = BackupManifest::new(StreamId::new(10));
+    assert!(svc.restore(&empty).unwrap().is_empty());
+    assert!(svc.restore_pipelined(&empty).unwrap().is_empty());
+    svc.cluster().clone().shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_restores_and_churning_backups_stay_byte_exact() {
+    // Two clients replay their manifests (both flavours) while two other
+    // sessions churn fresh backups through the same service handle: the
+    // replays must come back byte-exact every pass.
+    let svc = service_on(DataPlane::Pipelined, 2);
+    let spec = RestoreSpec::open_loop(2, 60).with_chunk_size(256);
+    let payloads = spec.client_payloads();
+    let manifests: Vec<BackupManifest> = payloads
+        .iter()
+        .enumerate()
+        .map(|(c, data)| svc.backup(StreamId::new(c as u32), data).unwrap().manifest)
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for churner in 0..2u64 {
+            let svc = svc.clone();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let churn_spec = RestoreSpec::open_loop(2, 24)
+                    .with_chunk_size(256)
+                    .with_seed(0xC0FF_EE00 + churner);
+                let mut round = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let data = churn_spec.client_data(churner as usize);
+                    let report = svc
+                        .backup(StreamId::new(100 + churner as u32 * 50 + round), &data)
+                        .unwrap();
+                    svc.delete_backup(&report.manifest).unwrap();
+                    round += 1;
+                }
+            });
+        }
+        let mut restorers = Vec::new();
+        for (c, (manifest, data)) in manifests.iter().zip(&payloads).enumerate() {
+            let svc = svc.clone();
+            restorers.push(scope.spawn(move || {
+                for pass in 0..6 {
+                    let restored = if pass % 2 == 0 {
+                        svc.restore_pipelined_with(manifest, RestoreConfig::new(8, 3))
+                            .unwrap()
+                            .data
+                    } else {
+                        svc.restore_with(manifest, RestoreConfig::new(8, 3))
+                            .unwrap()
+                            .data
+                    };
+                    assert_eq!(&restored, data, "client {c} pass {pass}");
+                }
+            }));
+        }
+        for r in restorers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    svc.cluster().clone().shutdown().unwrap();
+}
+
+/// A store whose reads take real time — long enough that a whole-replay
+/// lock hold would visibly starve writers.
+struct SlowStore {
+    inner: MemChunkStore,
+    read_delay: Duration,
+}
+
+impl ChunkStore for SlowStore {
+    fn put(&mut self, fingerprint: Fingerprint, data: Vec<u8>) -> ShhcResult<ChunkId> {
+        self.inner.put(fingerprint, data)
+    }
+    fn get(&self, id: ChunkId) -> ShhcResult<Vec<u8>> {
+        std::thread::sleep(self.read_delay);
+        self.inner.get(id)
+    }
+    fn get_many(&self, ids: &[ChunkId]) -> ShhcResult<Vec<Vec<u8>>> {
+        std::thread::sleep(self.read_delay * ids.len() as u32);
+        self.inner.get_many(ids)
+    }
+    fn fingerprint_of(&self, id: ChunkId) -> ShhcResult<Fingerprint> {
+        self.inner.fingerprint_of(id)
+    }
+    fn add_ref(&mut self, id: ChunkId) -> ShhcResult<()> {
+        self.inner.add_ref(id)
+    }
+    fn release(&mut self, id: ChunkId) -> ShhcResult<u32> {
+        self.inner.release(id)
+    }
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[test]
+fn long_restore_does_not_starve_backup_writers() {
+    // Regression for the whole-replay lock hold: with the store read
+    // lock scoped per batch, a writer gets in *mid-restore* instead of
+    // queueing behind the entire replay.
+    let cluster = ShhcCluster::spawn(ClusterConfig::small_test(2)).unwrap();
+    let store = SlowStore {
+        inner: MemChunkStore::new(1 << 20),
+        read_delay: Duration::from_millis(3),
+    };
+    let svc = BackupService::new(cluster, FixedChunker::new(256), store, 32);
+
+    let spec = RestoreSpec::open_loop(1, 150).with_chunk_size(256);
+    let data = spec.client_data(0);
+    let manifest = svc.backup(StreamId::new(1), &data).unwrap().manifest;
+
+    let restore_done = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(Barrier::new(2));
+    std::thread::scope(|scope| {
+        {
+            let svc = svc.clone();
+            let restore_done = Arc::clone(&restore_done);
+            let started = Arc::clone(&started);
+            scope.spawn(move || {
+                started.wait();
+                // ≈150 × 3 ms of gated reads, lock released every 4.
+                let restored = svc
+                    .restore_with(&manifest, RestoreConfig::new(4, 1))
+                    .unwrap();
+                restore_done.store(true, Ordering::SeqCst);
+                assert_eq!(restored.data, data);
+            });
+        }
+        started.wait();
+        // Give the replay a head start so the write genuinely contends.
+        std::thread::sleep(Duration::from_millis(30));
+        let small = RestoreSpec::open_loop(1, 4)
+            .with_chunk_size(256)
+            .with_seed(77)
+            .client_data(0);
+        svc.backup(StreamId::new(2), &small).unwrap();
+        assert!(
+            !restore_done.load(Ordering::SeqCst),
+            "backup should complete while the restore is still replaying"
+        );
+    });
+    svc.cluster().clone().shutdown().unwrap();
+}
+
+/// Ingest hot-set RAM hit ratio after `rounds` of re-backing-up the hot
+/// payload, with an optional full restore of the cold manifest replayed
+/// before each round.
+enum Interference {
+    None,
+    Pipelined,
+    Sequential,
+}
+
+fn hot_set_hit_ratio(interference: Interference) -> f64 {
+    // Pin the node shape: the cache-pollution mechanics under test live
+    // in the single-backend node cache (reader-pool nodes answer queries
+    // from mirrors and never touch it).
+    let mut node_config = NodeConfig::small_test();
+    node_config.cache_capacity = 256;
+    node_config.backend = BackendKind::Single;
+    node_config.readers = 0;
+    let cluster = ShhcCluster::spawn(ClusterConfig::new(2, node_config)).unwrap();
+    let svc = BackupService::new(
+        cluster,
+        FixedChunker::new(256),
+        MemChunkStore::new(1 << 20),
+        32,
+    );
+
+    // A cold archive much larger than the cache, then a hot payload that
+    // fits it comfortably.
+    let cold = RestoreSpec::open_loop(1, 1024)
+        .with_chunk_size(256)
+        .with_redundancy(0.0)
+        .client_data(0);
+    let hot = RestoreSpec::open_loop(1, 64)
+        .with_chunk_size(256)
+        .with_redundancy(0.0)
+        .with_seed(0x401)
+        .client_data(0);
+    let cold_manifest = svc.backup(StreamId::new(1), &cold).unwrap().manifest;
+    svc.backup(StreamId::new(2), &hot).unwrap();
+
+    for round in 0..3u32 {
+        match interference {
+            Interference::None => {}
+            Interference::Pipelined => {
+                let restored = svc.restore_pipelined(&cold_manifest).unwrap();
+                assert_eq!(restored, cold);
+            }
+            Interference::Sequential => {
+                let restored = svc.restore(&cold_manifest).unwrap();
+                assert_eq!(restored, cold);
+            }
+        }
+        // Re-ingest the hot set: every chunk is a duplicate, counted as
+        // a RAM or flash hit depending on where the restore left it.
+        svc.backup(StreamId::new(10 + round), &hot).unwrap();
+    }
+
+    let stats = svc.cluster().stats().unwrap();
+    let (ram, ssd) = stats.nodes.iter().fold((0u64, 0u64), |(r, s), n| {
+        (r + n.stats.ram_hits, s + n.stats.ssd_hits)
+    });
+    svc.cluster().clone().shutdown().unwrap();
+    assert!(ram + ssd > 0, "hot re-ingest must classify duplicates");
+    ram as f64 / (ram + ssd) as f64
+}
+
+#[test]
+fn bypass_restore_preserves_ingest_hit_rate() {
+    let undisturbed = hot_set_hit_ratio(Interference::None);
+    let with_pipelined = hot_set_hit_ratio(Interference::Pipelined);
+    let with_sequential = hot_set_hit_ratio(Interference::Sequential);
+
+    // The scan-resistant (Bypass) restore leaves the ingest working set
+    // resident: at least 90 % of the undisturbed hit rate.
+    assert!(
+        with_pipelined >= 0.9 * undisturbed,
+        "pipelined restore flushed the hot set: {with_pipelined:.3} vs {undisturbed:.3}"
+    );
+    // The sequential baseline reads through the cache with Normal
+    // admission — the pathology the Bypass hint exists to avoid.
+    assert!(
+        with_sequential < with_pipelined,
+        "expected normal-admission restore to pollute the cache: \
+         sequential {with_sequential:.3} vs pipelined {with_pipelined:.3}"
+    );
+}
+
+#[test]
+fn dead_index_node_degrades_audit_not_data() {
+    let svc = service_on(DataPlane::Pipelined, 3);
+    let spec = RestoreSpec::open_loop(1, 80).with_chunk_size(256);
+    let data = spec.client_data(0);
+    let manifest = svc.backup(StreamId::new(1), &data).unwrap().manifest;
+
+    svc.cluster().kill_node(NodeId::new(1)).unwrap();
+
+    for flavour in ["sequential", "pipelined"] {
+        let report = if flavour == "sequential" {
+            svc.restore_with(&manifest, RestoreConfig::new(8, 2))
+        } else {
+            svc.restore_pipelined_with(&manifest, RestoreConfig::new(8, 2))
+        }
+        .unwrap();
+        assert_eq!(report.data, data, "{flavour} restore survives a dead node");
+        assert!(
+            report.degraded,
+            "{flavour} locate audit must flag the dead node"
+        );
+        assert!(report.skipped > 0, "{flavour} skips locates after failure");
+        assert!(
+            report.located + report.mismatched + report.skipped == report.chunks,
+            "{flavour} audit accounts for every entry"
+        );
+    }
+    svc.cluster().clone().shutdown().unwrap();
+}

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use shhc_net::{decode, duplex, encode, Frame};
-use shhc_types::{Fingerprint, StreamId};
+use shhc_types::{Admission, Fingerprint, StreamId};
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     let fps = proptest::collection::vec(any::<u64>(), 0..64)
@@ -18,8 +18,13 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 fingerprints: f,
             }
         }),
-        (any::<u64>(), fps.clone()).prop_map(|(c, f)| Frame::QueryReq {
+        (any::<u64>(), any::<bool>(), fps.clone()).prop_map(|(c, b, f)| Frame::QueryReq {
             correlation: c,
+            admission: if b {
+                Admission::Bypass
+            } else {
+                Admission::Normal
+            },
             fingerprints: f,
         }),
         (
